@@ -1,0 +1,35 @@
+"""Fig. 1 — background traffic while the client is idle (16 minutes).
+
+Paper reference (§3.1, Fig. 1): SkyDrive's login moves ~150 kB over 13
+servers, four times more than the others; once idle, Wuala polls every
+5 minutes (~60 b/s), Google Drive every 40 s (~42 b/s), Dropbox and SkyDrive
+about once a minute (82 and 32 b/s), while Amazon Cloud Drive opens a new
+HTTPS connection every 15 s and burns ~6 kb/s — roughly 65 MB per day.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.experiments.idle import IdleExperiment
+from repro.units import minutes
+
+
+def test_fig1_idle_background_traffic(benchmark):
+    """Login every client, leave it idle for 16 minutes, measure its traffic."""
+    experiment = IdleExperiment(duration=minutes(16))
+    result = run_once(benchmark, experiment.run)
+    attach_rows(benchmark, "fig1_idle_traffic", result.rows())
+    services = result.services
+    # Cloud Drive is the outlier: kilobits per second, tens of MB per day.
+    assert services["clouddrive"].background_rate_bps > 3_000
+    assert services["clouddrive"].daily_volume_bytes > 30e6
+    # Everyone else stays within a few hundred bits per second.
+    for name in ("dropbox", "skydrive", "wuala", "googledrive"):
+        assert services[name].background_rate_bps < 300
+    # SkyDrive's login is the heaviest by far (13 Microsoft Live servers).
+    assert services["skydrive"].login_bytes > 2.5 * services["dropbox"].login_bytes
+    # Cumulative series (the plotted curves) are monotonically increasing.
+    for series in result.series().values():
+        values = [value for _, value in series]
+        assert values == sorted(values)

@@ -1,0 +1,37 @@
+"""Fig. 3 — cumulative TCP SYNs while uploading 100 files of 10 kB.
+
+Paper reference (§4.2, Fig. 3): Google Drive opens one TCP/SSL connection
+per file (100 connections, ~30 s to complete the upload); Amazon Cloud Drive
+additionally opens three control connections per file operation (400
+connections, ~55 s).
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.experiments.synseries import SynSeriesExperiment
+from repro.core.report import render_series
+
+
+def test_fig3_tcp_syn_series(benchmark):
+    """Count connections over time for the two per-file-connection services."""
+    experiment = SynSeriesExperiment(["clouddrive", "googledrive"])
+    result = run_once(benchmark, experiment.run)
+    attach_rows(benchmark, "fig3_connections", result.rows())
+    print()
+    sampled = {
+        name: [point for index, point in enumerate(series) if index % 20 == 0]
+        for name, series in result.series().items()
+    }
+    print(render_series(sampled, x_label="time (s)", y_label="cumulative SYNs", title="Fig. 3 series (sampled)"))
+
+    googledrive = result.services["googledrive"]
+    clouddrive = result.services["clouddrive"]
+    assert googledrive.total_connections == 100
+    assert clouddrive.total_connections == 400
+    # Shape check: ~30 s vs ~55 s in the paper; the simulator should keep the
+    # ordering and the rough magnitudes.
+    assert 15 < googledrive.completion_time < 60
+    assert 40 < clouddrive.completion_time < 120
+    assert clouddrive.completion_time > 1.5 * googledrive.completion_time

@@ -1,0 +1,42 @@
+"""Fig. 4 — delta-encoding tests (append and random-offset modification).
+
+Paper reference (§4.4, Fig. 4): only Dropbox implements delta encoding — the
+uploaded volume tracks the modified bytes, growing somewhat once content
+shifts across its 4 MB chunks.  Wuala does not implement delta encoding but
+its deduplication spares the chunks not touched by the change.  All other
+services re-upload the full file.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.experiments.delta import DeltaEncodingExperiment
+from repro.units import MB
+
+
+def test_fig4_delta_encoding(benchmark):
+    """Measure re-uploaded volume after appending / inserting ~100 kB."""
+    experiment = DeltaEncodingExperiment()
+    result = run_once(benchmark, experiment.run)
+    attach_rows(benchmark, "fig4_delta", result.rows())
+
+    append = {service: dict(points) for service, points in result.series("append").items()}
+    random_case = {service: dict(points) for service, points in result.series("random").items()}
+
+    # Left plot: Dropbox uploads roughly the appended 100 kB regardless of size.
+    assert all(value < 0.4 for value in append["dropbox"].values())
+    # Services without delta encoding re-upload the whole file in the append
+    # case (Wuala's dedup can spare leading chunks on multi-chunk files).
+    for service in ("skydrive", "googledrive", "clouddrive"):
+        for size, uploaded in append[service].items():
+            assert uploaded > 0.9 * size / 1e6
+
+    # Right plot: Dropbox stays far below the full file even at 10 MB, but
+    # above the bare 100 kB once several chunks shift.
+    assert random_case["dropbox"][10 * MB] < 2.0
+    # Wuala's deduplication spares the chunks before the insertion point.
+    assert random_case["wuala"][10 * MB] < 0.9 * 10
+    # Services without delta or dedup re-upload everything.
+    for service in ("skydrive", "googledrive", "clouddrive"):
+        assert random_case[service][10 * MB] > 9.5

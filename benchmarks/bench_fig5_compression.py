@@ -1,0 +1,48 @@
+"""Fig. 5 — compression tests on text, random bytes and fake JPEGs.
+
+Paper reference (§4.5, Fig. 5): Dropbox and Google Drive compress text
+before transmission (Google's scheme being somewhat more effective); random
+bytes are incompressible for everyone; and only Google Drive inspects the
+content, so it skips the fake JPEGs while Dropbox wastes CPU compressing
+anything, JPEG or not.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.experiments.compression import CompressionExperiment
+from repro.filegen.model import FileKind
+
+
+def test_fig5_compression(benchmark):
+    """Upload 100 kB–2 MB files of each content class and measure the volume."""
+    experiment = CompressionExperiment()
+    result = run_once(benchmark, experiment.run)
+    attach_rows(benchmark, "fig5_compression", result.rows())
+
+    def ratios(kind):
+        return {
+            service: [uploaded_mb / (size / 1e6) for size, uploaded_mb in points]
+            for service, points in result.series(kind).items()
+        }
+
+    text = ratios(FileKind.TEXT)
+    binary = ratios(FileKind.BINARY)
+    fake = ratios(FileKind.FAKE_JPEG)
+
+    # Fig. 5(a): only Dropbox and Google Drive shrink text.
+    assert all(ratio < 0.6 for ratio in text["dropbox"])
+    assert all(ratio < 0.6 for ratio in text["googledrive"])
+    for service in ("skydrive", "wuala", "clouddrive"):
+        assert all(ratio > 0.9 for ratio in text[service])
+
+    # Fig. 5(b): nobody shrinks random bytes; Dropbox has the largest volume
+    # among the non-Cloud-Drive services because of its protocol overhead.
+    for service, values in binary.items():
+        assert all(ratio > 0.9 for ratio in values)
+
+    # Fig. 5(c): Google Drive detects the JPEG signature and skips
+    # compression; Dropbox compresses the (actually textual) content anyway.
+    assert all(ratio > 0.9 for ratio in fake["googledrive"])
+    assert all(ratio < 0.6 for ratio in fake["dropbox"])

@@ -1,0 +1,68 @@
+"""Fig. 6 — synchronization start-up, completion time and protocol overhead.
+
+Paper reference (§5, Fig. 6), qualitative shape to reproduce:
+
+* (a) start-up: Dropbox is the fastest to start on single files and only
+  slightly delayed by bundling on batches; SkyDrive needs at least 9 s and
+  more than 20 s for 100 files; Wuala roughly doubles for 100 files.
+* (b) completion: for single files the data-center distance dominates —
+  Google Drive (~300 ms for 1 MB) and Wuala win, SkyDrive (~4 s) loses; for
+  100 × 10 kB Dropbox's bundling wins by a factor of about four over Google
+  Drive (whose edge advantage is cancelled by per-file TCP/SSL connections),
+  with Cloud Drive around a minute.
+* (c) overhead: everyone pays a moderate-to-high price on small files;
+  Dropbox has the highest overhead among the well-behaved services (~47 %
+  at 100 kB), Google Drive doubles the traffic for 100 × 10 kB and Cloud
+  Drive exchanges more than 5 MB to commit 1 MB.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.experiments.performance import PerformanceExperiment
+from repro.core.report import render_grouped_bars
+from repro.core.workloads import PAPER_WORKLOADS
+
+#: Repetitions per (service, workload).  The paper uses 24; three keeps the
+#: benchmark run short while still averaging out workload randomness.
+REPETITIONS = 3
+
+
+def test_fig6_performance(benchmark):
+    """Run the four §5 workloads for the five services and check Fig. 6's shape."""
+    experiment = PerformanceExperiment(repetitions=REPETITIONS, pause_between_runs=30.0)
+    result = run_once(benchmark, experiment.run)
+    attach_rows(benchmark, "fig6_metrics", result.rows())
+    order = [workload.name for workload in PAPER_WORKLOADS]
+    print()
+    print(render_grouped_bars(result.figure_series("startup"), group_order=order, title="Fig. 6a - start-up (s)"))
+    print(render_grouped_bars(result.figure_series("completion"), group_order=order, title="Fig. 6b - completion (s)"))
+    print(render_grouped_bars(result.figure_series("overhead"), group_order=order, value_format="{:.3f}", title="Fig. 6c - overhead"))
+
+    startup = result.figure_series("startup")
+    completion = result.figure_series("completion")
+    overhead = result.figure_series("overhead")
+
+    # --- Fig. 6a -----------------------------------------------------------
+    for workload in ("1x100kB", "1x1MB"):
+        assert startup["dropbox"][workload] == min(values[workload] for values in startup.values())
+    assert all(value >= 9.0 for value in startup["skydrive"].values())
+    assert startup["skydrive"]["100x10kB"] > 20.0
+    assert startup["wuala"]["100x10kB"] > 1.7 * startup["wuala"]["1x100kB"]
+
+    # --- Fig. 6b -----------------------------------------------------------
+    assert completion["googledrive"]["1x1MB"] < 1.0
+    assert completion["skydrive"]["1x1MB"] > 3.0
+    dropbox_small_files = completion["dropbox"]["100x10kB"]
+    assert completion["googledrive"]["100x10kB"] > 2.5 * dropbox_small_files
+    assert completion["clouddrive"]["100x10kB"] > 5.0 * dropbox_small_files
+    assert max(values["100x10kB"] for values in completion.values()) > 5 * dropbox_small_files
+
+    # --- Fig. 6c -----------------------------------------------------------
+    assert overhead["clouddrive"]["100x10kB"] > 3.5
+    assert 1.6 < overhead["googledrive"]["100x10kB"] < 2.6
+    others = ("skydrive", "wuala", "googledrive")
+    assert overhead["dropbox"]["1x100kB"] > max(overhead[s]["1x100kB"] for s in others)
+    for values in overhead.values():
+        assert values["1x1MB"] < values["1x100kB"]

@@ -1,0 +1,35 @@
+"""Table 1 — capability matrix of the five services.
+
+Paper reference (Table 1):
+
+    service       chunking  bundling  compression  dedup  delta
+    Dropbox       4 MB      yes       always       yes    yes
+    SkyDrive      var.      no        no           no     no
+    Wuala         var.      no        no           yes    no
+    Google Drive  8 MB      no        smart        no     no
+    Cloud Drive   no        no        no           no     no
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.core.capabilities import CapabilityProber
+from repro.services.registry import SERVICE_NAMES
+
+
+def test_table1_capability_matrix(benchmark):
+    """Probe every capability of every service from traffic alone."""
+    prober = CapabilityProber()
+    matrix = run_once(benchmark, lambda: prober.build_matrix(SERVICE_NAMES))
+    rows = matrix.rows()
+    attach_rows(benchmark, "table1_capabilities", rows)
+    by_service = {row["service"]: row for row in rows}
+    assert by_service["dropbox"]["chunking"] == "4 MB"
+    assert by_service["dropbox"]["bundling"] == "yes"
+    assert by_service["dropbox"]["delta_encoding"] == "yes"
+    assert by_service["googledrive"]["chunking"] == "8 MB"
+    assert by_service["googledrive"]["compression"] == "smart"
+    assert by_service["wuala"]["deduplication"] == "yes"
+    assert by_service["skydrive"]["chunking"] == "var."
+    assert all(value == "no" for key, value in by_service["clouddrive"].items() if key != "service")

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The timing
+side (pytest-benchmark) measures how long the experiment takes to run on the
+simulator; the *scientific* output — the rows/series the paper reports — is
+attached to ``benchmark.extra_info`` and printed, so a plain
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every artifact in one go.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def run_once(benchmark, function: Callable):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and comparatively slow, so a single
+    round is both sufficient and desirable.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def attach_rows(benchmark, name: str, rows: Sequence[dict], *, print_table: bool = True) -> None:
+    """Attach result rows to the benchmark record and print them."""
+    from repro.core.report import render_table
+
+    benchmark.extra_info[name] = list(rows)
+    if print_table and rows:
+        print()
+        print(render_table(rows, title=name))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Discover each service's front-end infrastructure (Fig. 2 and §3.2).
+
+The script builds the simulated world (ground-truth data centers,
+authoritative DNS with geo-routing, open resolvers, PlanetLab-like vantage
+points, whois) and runs the paper's discovery methodology on the DNS names
+each client contacts: world-wide resolution fan-out, whois attribution and
+hybrid geolocation (reverse-DNS airport codes, minimum RTT, traceroute).
+
+Run it with::
+
+    python examples/datacenter_discovery.py [resolver_count]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro import DataCenterExperiment, render_table
+
+
+def main() -> int:
+    resolver_count = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    print(f"Resolving every service's hostnames through {resolver_count} open resolvers world-wide...")
+    experiment = DataCenterExperiment(resolver_count=resolver_count)
+    result = experiment.run()
+
+    print()
+    print(render_table(result.rows(), title="Front-end discovery summary (Sec. 3.2)"))
+
+    # Per-service detail: owners and sites.
+    for service, report in result.reports.items():
+        sites = sorted({f"{loc.city} ({loc.country})" for loc in report.sites()})
+        print()
+        print(f"--- {service} ---")
+        print(f"  owners : {', '.join(report.owners)}")
+        if service == "googledrive":
+            continents = Counter(site.split("(")[-1].rstrip(")") for site in sites)
+            print(f"  edge locations discovered: {len(sites)} (Fig. 2)")
+            print(f"  top countries: {', '.join(f'{country} x{count}' for country, count in continents.most_common(5))}")
+        else:
+            print(f"  sites  : {', '.join(sites)}")
+
+    google = result.reports["googledrive"]
+    print()
+    print(
+        f"Google Drive terminates client connections at {google.distinct_sites} distinct locations "
+        f"across {len(google.countries)} countries — the paper reports 'more than 100 different entry points'."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

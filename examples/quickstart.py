@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one personal cloud storage service in a few lines.
+
+This example drives the public API end to end for a single service:
+
+1. set up a testbed (simulator + sniffer + client under test),
+2. synchronize a small batch of files,
+3. compute the paper's three performance metrics from the captured traffic,
+4. probe one capability (compression) the way §4 of the paper does.
+
+Run it with::
+
+    python examples/quickstart.py [service]
+
+where ``service`` is one of dropbox, skydrive, wuala, googledrive,
+clouddrive (default: dropbox).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SERVICE_NAMES, TestbedController, compute_performance_metrics, render_table, workload_by_name
+from repro.core.capabilities import CapabilityProber
+from repro.units import format_bytes, format_duration, format_rate
+
+
+def main() -> int:
+    service = sys.argv[1].lower() if len(sys.argv) > 1 else "dropbox"
+    if service not in SERVICE_NAMES:
+        print(f"unknown service {service!r}; choose from {', '.join(SERVICE_NAMES)}")
+        return 1
+
+    # 1. A fresh testbed: the controller wires the simulator, the traffic
+    #    sniffer, the storage backend and the client under test together.
+    controller = TestbedController(service)
+    controller.start_session()
+
+    # 2. Synchronize the paper's 10 x 100 kB workload.
+    workload = workload_by_name("10x100kB")
+    files = workload.generate()
+    observation = controller.sync_upload(files, label=workload.name)
+
+    # 3. Metrics are computed from the captured packets, never from the
+    #    client's internal state — exactly the paper's methodology.
+    metrics = compute_performance_metrics(observation, workload.name)
+    print(f"=== {service}: {workload.name} ===")
+    print(f"  synchronization start-up : {format_duration(metrics.startup_time)}")
+    print(f"  completion time          : {format_duration(metrics.completion_time)}")
+    print(f"  protocol overhead        : {metrics.overhead_fraction:.2f}x the workload size")
+    print(f"  total traffic            : {format_bytes(metrics.total_traffic_bytes)}")
+    print(f"  effective upload rate    : {format_rate(metrics.upload_throughput_bps)}")
+    print()
+
+    # 4. One capability probe: does the client compress before uploading?
+    probe = CapabilityProber().probe_compression(service, file_size=500_000)
+    rows = [
+        {"content": "text", "uploaded_kB": round(probe.text_upload_bytes / 1000, 1)},
+        {"content": "random bytes", "uploaded_kB": round(probe.binary_upload_bytes / 1000, 1)},
+        {"content": "fake JPEG", "uploaded_kB": round(probe.fake_jpeg_upload_bytes / 1000, 1)},
+    ]
+    print(render_table(rows, title=f"Compression probe (500 kB files) -> policy: {probe.policy}"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs are unavailable) can still do ``python setup.py develop`` or a
+plain ``pip install .``.
+"""
+
+from setuptools import setup
+
+setup()

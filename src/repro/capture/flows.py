@@ -1,0 +1,136 @@
+"""TCP flow reconstruction from packet traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.netsim.packet import Packet, PacketDirection, TCPFlags
+from repro.capture.trace import PacketTrace
+
+__all__ = ["FlowKey", "Flow", "FlowTable", "build_flow_table"]
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Canonical bidirectional 5-tuple identifying one TCP connection.
+
+    The tuple is normalised so that both directions of a connection map to
+    the same key: the client (test computer) side is always first.
+    """
+
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    protocol: str = "TCP"
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        """Build the canonical key for ``packet`` based on its direction."""
+        if packet.direction is PacketDirection.OUT:
+            return cls(packet.src, packet.src_port, packet.dst, packet.dst_port, packet.protocol)
+        return cls(packet.dst, packet.dst_port, packet.src, packet.src_port, packet.protocol)
+
+
+@dataclass
+class Flow:
+    """Aggregate statistics for one TCP connection observed in a trace."""
+
+    key: FlowKey
+    hostname: str = ""
+    first_packet: float = 0.0
+    last_packet: float = 0.0
+    first_payload: Optional[float] = None
+    last_payload: Optional[float] = None
+    packets: int = 0
+    syn_packets: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    payload_up: int = 0
+    payload_down: int = 0
+    connection_ids: set = field(default_factory=set)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total wire bytes in both directions."""
+        return self.bytes_up + self.bytes_down
+
+    @property
+    def total_payload(self) -> int:
+        """Total payload bytes in both directions."""
+        return self.payload_up + self.payload_down
+
+    @property
+    def duration(self) -> float:
+        """Time between first and last packet of the flow."""
+        return self.last_packet - self.first_packet
+
+    def add(self, packet: Packet) -> None:
+        """Fold one packet into the flow statistics."""
+        if self.packets == 0:
+            self.first_packet = packet.timestamp
+            self.last_packet = packet.timestamp
+            self.hostname = packet.hostname
+        self.packets += 1
+        self.first_packet = min(self.first_packet, packet.timestamp)
+        self.last_packet = max(self.last_packet, packet.timestamp)
+        if packet.is_syn:
+            self.syn_packets += 1
+        if packet.direction is PacketDirection.OUT:
+            self.bytes_up += packet.wire_len
+            self.payload_up += packet.payload_len
+        else:
+            self.bytes_down += packet.wire_len
+            self.payload_down += packet.payload_len
+        if packet.has_payload:
+            if self.first_payload is None or packet.timestamp < self.first_payload:
+                self.first_payload = packet.timestamp
+            if self.last_payload is None or packet.timestamp > self.last_payload:
+                self.last_payload = packet.timestamp
+        self.connection_ids.add(packet.connection_id)
+
+
+class FlowTable:
+    """All flows reconstructed from one trace, with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowKey, Flow] = {}
+
+    def add_packet(self, packet: Packet) -> None:
+        """Route one packet to its flow, creating the flow if needed."""
+        key = FlowKey.from_packet(packet)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = Flow(key=key)
+            self._flows[key] = flow
+        flow.add(packet)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self):
+        return iter(self.flows())
+
+    def flows(self) -> List[Flow]:
+        """All flows ordered by first packet time."""
+        return sorted(self._flows.values(), key=lambda flow: flow.first_packet)
+
+    def flows_to_hosts(self, hostnames: Iterable[str]) -> List[Flow]:
+        """Flows whose server DNS name is in ``hostnames``."""
+        wanted = set(hostnames)
+        return [flow for flow in self.flows() if flow.hostname in wanted]
+
+    def largest_flow(self) -> Optional[Flow]:
+        """The flow carrying the most bytes (used to spot storage flows)."""
+        if not self._flows:
+            return None
+        return max(self._flows.values(), key=lambda flow: flow.total_bytes)
+
+
+def build_flow_table(trace: PacketTrace) -> FlowTable:
+    """Reconstruct the flow table of ``trace``."""
+    table = FlowTable()
+    for packet in trace:
+        table.add_packet(packet)
+    return table

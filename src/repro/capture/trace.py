@@ -1,0 +1,137 @@
+"""Packet traces: ordered collections of captured packets with filtering."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.netsim.packet import Packet, PacketDirection
+
+__all__ = ["PacketTrace"]
+
+
+class PacketTrace:
+    """An append-only, time-ordered view over captured packets.
+
+    Packets are appended by the sniffer in emission order; because background
+    events and asynchronous FIN packets may be stamped slightly out of order,
+    accessors sort lazily by timestamp when needed.
+    """
+
+    def __init__(self, packets: Optional[Iterable[Packet]] = None) -> None:
+        self._packets: List[Packet] = list(packets) if packets is not None else []
+        self._sorted = False
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+    def append(self, packet: Packet) -> None:
+        """Add one packet to the trace."""
+        self._packets.append(packet)
+        self._sorted = False
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        """Add several packets to the trace."""
+        self._packets.extend(packets)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self.packets[index]
+
+    @property
+    def packets(self) -> Sequence[Packet]:
+        """Packets sorted by capture timestamp."""
+        if not self._sorted:
+            self._packets.sort(key=lambda packet: packet.timestamp)
+            self._sorted = True
+        return self._packets
+
+    def is_empty(self) -> bool:
+        """True when no packets were captured."""
+        return not self._packets
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[Packet], bool]) -> "PacketTrace":
+        """Return a new trace containing the packets matching ``predicate``."""
+        return PacketTrace(packet for packet in self.packets if predicate(packet))
+
+    def between(self, start: float, end: float) -> "PacketTrace":
+        """Packets with ``start <= timestamp <= end``."""
+        return self.filter(lambda packet: start <= packet.timestamp <= end)
+
+    def after(self, timestamp: float) -> "PacketTrace":
+        """Packets captured at or after ``timestamp``."""
+        return self.filter(lambda packet: packet.timestamp >= timestamp)
+
+    def to_hosts(self, hostnames: Iterable[str]) -> "PacketTrace":
+        """Packets exchanged with any of the given server DNS names."""
+        wanted = set(hostnames)
+        return self.filter(lambda packet: packet.hostname in wanted)
+
+    def for_connection(self, connection_id: int) -> "PacketTrace":
+        """Packets belonging to one simulated connection."""
+        return self.filter(lambda packet: packet.connection_id == connection_id)
+
+    def payload_packets(self) -> "PacketTrace":
+        """Packets carrying application payload."""
+        return self.filter(lambda packet: packet.has_payload)
+
+    def outgoing(self) -> "PacketTrace":
+        """Packets leaving the test computer."""
+        return self.filter(lambda packet: packet.direction is PacketDirection.OUT)
+
+    def incoming(self) -> "PacketTrace":
+        """Packets entering the test computer."""
+        return self.filter(lambda packet: packet.direction is PacketDirection.IN)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_bytes(self) -> int:
+        """Total bytes on the wire (headers + payload), both directions."""
+        return sum(packet.wire_len for packet in self._packets)
+
+    def payload_bytes(self) -> int:
+        """Total application payload bytes, both directions."""
+        return sum(packet.payload_len for packet in self._packets)
+
+    def uploaded_payload_bytes(self) -> int:
+        """Application payload bytes leaving the test computer."""
+        return sum(packet.payload_len for packet in self._packets if packet.direction is PacketDirection.OUT)
+
+    def downloaded_payload_bytes(self) -> int:
+        """Application payload bytes entering the test computer."""
+        return sum(packet.payload_len for packet in self._packets if packet.direction is PacketDirection.IN)
+
+    def first_timestamp(self) -> Optional[float]:
+        """Timestamp of the first packet, or ``None`` for an empty trace."""
+        if not self._packets:
+            return None
+        return self.packets[0].timestamp
+
+    def last_timestamp(self) -> Optional[float]:
+        """Timestamp of the last packet, or ``None`` for an empty trace."""
+        if not self._packets:
+            return None
+        return self.packets[-1].timestamp
+
+    def duration(self) -> float:
+        """Elapsed time between the first and last packet (0 for empty traces)."""
+        if not self._packets:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    def hostnames(self) -> List[str]:
+        """Sorted list of distinct server DNS names appearing in the trace."""
+        return sorted({packet.hostname for packet in self._packets if packet.hostname})
+
+    def connection_ids(self) -> List[int]:
+        """Sorted list of distinct connection identifiers in the trace."""
+        return sorted({packet.connection_id for packet in self._packets})

@@ -1,0 +1,154 @@
+"""Command line interface: ``cloudbench``.
+
+Sub-commands map one-to-one to the paper's artifacts::
+
+    cloudbench capabilities                 # Table 1
+    cloudbench idle --minutes 16            # Fig. 1
+    cloudbench datacenters --resolvers 500  # Fig. 2 / §3.2
+    cloudbench connections                  # Fig. 3
+    cloudbench delta                        # Fig. 4
+    cloudbench compression                  # Fig. 5
+    cloudbench performance --repetitions 5  # Fig. 6
+    cloudbench all                          # everything above
+
+Results are printed as ASCII tables; ``--csv PATH`` additionally writes the
+raw rows to a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.experiments.compression import CompressionExperiment
+from repro.core.experiments.datacenters import DataCenterExperiment
+from repro.core.experiments.delta import DeltaEncodingExperiment
+from repro.core.experiments.idle import IdleExperiment
+from repro.core.experiments.performance import PerformanceExperiment
+from repro.core.experiments.synseries import SynSeriesExperiment
+from repro.core.capabilities import CapabilityProber
+from repro.core.report import render_grouped_bars, render_table, to_csv
+from repro.core.runner import BenchmarkSuite
+from repro.core.workloads import PAPER_WORKLOADS
+from repro.services.registry import SERVICE_NAMES
+from repro.units import minutes
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``cloudbench`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cloudbench",
+        description="Benchmark (simulated) personal cloud storage services, reproducing IMC'13.",
+    )
+    parser.add_argument(
+        "--services",
+        default=None,
+        help=(
+            "comma-separated list of services to benchmark "
+            f"(default: all five from the paper: {','.join(SERVICE_NAMES)})"
+        ),
+    )
+    parser.add_argument("--csv", default=None, help="also write the result rows to this CSV file")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("capabilities", help="Table 1: capability matrix")
+
+    idle = subparsers.add_parser("idle", help="Fig. 1: background traffic while idle")
+    idle.add_argument("--minutes", type=float, default=16.0, help="idle observation window (minutes)")
+
+    datacenters = subparsers.add_parser("datacenters", help="Fig. 2 / Sec. 3.2: front-end discovery")
+    datacenters.add_argument("--resolvers", type=int, default=500, help="number of open resolvers to fan out over")
+
+    subparsers.add_parser("connections", help="Fig. 3: TCP connections for 100x10kB")
+
+    subparsers.add_parser("delta", help="Fig. 4: delta encoding tests")
+
+    subparsers.add_parser("compression", help="Fig. 5: compression tests")
+
+    performance = subparsers.add_parser("performance", help="Fig. 6: start-up, completion, overhead")
+    performance.add_argument("--repetitions", type=int, default=3, help="repetitions per (service, workload)")
+
+    everything = subparsers.add_parser("all", help="run the whole campaign")
+    everything.add_argument("--repetitions", type=int, default=2, help="repetitions per (service, workload)")
+    everything.add_argument("--minutes", type=float, default=16.0, help="idle observation window (minutes)")
+    everything.add_argument("--resolvers", type=int, default=300, help="number of open resolvers to fan out over")
+    return parser
+
+
+def _emit(rows: List[dict], text: str, csv_path: Optional[str]) -> None:
+    print(text)
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(rows) + "\n")
+        print(f"\nCSV written to {csv_path}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``cloudbench`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.services:
+        services = [name.strip().lower() for name in args.services.split(",") if name.strip()]
+        unknown = [name for name in services if name not in SERVICE_NAMES]
+        if unknown:
+            parser.error(f"unknown service(s): {', '.join(unknown)}; choose from {', '.join(SERVICE_NAMES)}")
+    else:
+        services = list(SERVICE_NAMES)
+
+    if args.command == "capabilities":
+        matrix = CapabilityProber().build_matrix(services)
+        _emit(matrix.rows(), render_table(matrix.rows(), title="Table 1 - capabilities"), args.csv)
+    elif args.command == "idle":
+        result = IdleExperiment(services, duration=minutes(args.minutes)).run()
+        _emit(result.rows(), render_table(result.rows(), title="Fig. 1 - idle/background traffic"), args.csv)
+    elif args.command == "datacenters":
+        result = DataCenterExperiment(services, resolver_count=args.resolvers).run()
+        text = render_table(result.rows(), title="Fig. 2 / Sec. 3.2 - data centers")
+        edges = result.google_edge_sites()
+        if edges:
+            text += f"\n\nGoogle Drive edge locations discovered: {len(edges)}"
+        _emit(result.rows(), text, args.csv)
+    elif args.command == "connections":
+        wanted = [name for name in ("clouddrive", "googledrive") if name in services] or services
+        result = SynSeriesExperiment(wanted).run()
+        _emit(result.rows(), render_table(result.rows(), title="Fig. 3 - TCP connections (100x10kB)"), args.csv)
+    elif args.command == "delta":
+        result = DeltaEncodingExperiment(services).run()
+        _emit(result.rows(), render_table(result.rows(), title="Fig. 4 - delta encoding"), args.csv)
+    elif args.command == "compression":
+        result = CompressionExperiment(services).run()
+        _emit(result.rows(), render_table(result.rows(), title="Fig. 5 - compression"), args.csv)
+    elif args.command == "performance":
+        result = PerformanceExperiment(services, repetitions=args.repetitions).run()
+        workload_order = [workload.name for workload in PAPER_WORKLOADS]
+        text = "\n\n".join(
+            [
+                render_table(result.rows(), title="Fig. 6 - aggregated metrics"),
+                render_grouped_bars(result.figure_series("startup"), group_order=workload_order, title="Fig. 6a - start-up (s)"),
+                render_grouped_bars(result.figure_series("completion"), group_order=workload_order, title="Fig. 6b - completion (s)"),
+                render_grouped_bars(
+                    result.figure_series("overhead"), group_order=workload_order, value_format="{:.3f}", title="Fig. 6c - overhead"
+                ),
+            ]
+        )
+        _emit(result.rows(), text, args.csv)
+    elif args.command == "all":
+        suite = BenchmarkSuite(
+            services,
+            repetitions=args.repetitions,
+            idle_duration=minutes(args.minutes),
+            resolver_count=args.resolvers,
+        )
+        result = suite.run()
+        rows = result.performance.rows() if result.performance is not None else []
+        _emit(rows, result.summary_text(), args.csv)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

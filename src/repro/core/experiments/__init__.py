@@ -1,0 +1,42 @@
+"""Experiment classes: one per table/figure of the paper's evaluation.
+
+| Module            | Paper artifact                                        |
+|-------------------|-------------------------------------------------------|
+| ``idle``          | Fig. 1 — background traffic while idle                 |
+| ``datacenters``   | Fig. 2 / §3.2 — front-end discovery and geolocation    |
+| ``synseries``     | Fig. 3 — cumulative TCP SYNs for 100 × 10 kB uploads   |
+| ``delta``         | Fig. 4 — delta-encoding tests                          |
+| ``compression``   | Fig. 5 — compression tests                             |
+| ``performance``   | Fig. 6 — start-up, completion time, protocol overhead  |
+
+Table 1 (the capability matrix) is produced by
+:class:`repro.core.capabilities.CapabilityProber`.
+"""
+
+from repro.core.experiments.idle import IdleExperiment, IdleResult, IdleServiceResult
+from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult, build_world, SimulatedWorld
+from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult, SynSeriesServiceResult
+from repro.core.experiments.delta import DeltaEncodingExperiment, DeltaResult, DeltaPoint
+from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult, CompressionPoint
+from repro.core.experiments.performance import PerformanceExperiment, PerformanceResult
+
+__all__ = [
+    "IdleExperiment",
+    "IdleResult",
+    "IdleServiceResult",
+    "DataCenterExperiment",
+    "DataCenterResult",
+    "build_world",
+    "SimulatedWorld",
+    "SynSeriesExperiment",
+    "SynSeriesResult",
+    "SynSeriesServiceResult",
+    "DeltaEncodingExperiment",
+    "DeltaResult",
+    "DeltaPoint",
+    "CompressionExperiment",
+    "CompressionExperimentResult",
+    "CompressionPoint",
+    "PerformanceExperiment",
+    "PerformanceResult",
+]

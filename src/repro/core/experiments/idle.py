@@ -1,0 +1,125 @@
+"""Fig. 1 — background traffic while the client is idle.
+
+The client is started (login) and then left alone for 16 minutes with its
+background polling running.  The figure plots the cumulative number of bytes
+exchanged with control servers over time; the discussion in §3.1 derives
+from it the login footprint (SkyDrive's ~150 kB across 13 servers) and the
+equivalent background rate of each service (from Wuala's 60 b/s every
+5 minutes to Cloud Drive's 6 kb/s caused by a fresh HTTPS connection every
+15 seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.capture import analysis
+from repro.services.registry import SERVICE_NAMES
+from repro.testbed.controller import TestbedController
+from repro.units import minutes
+
+__all__ = ["IdleServiceResult", "IdleResult", "IdleExperiment"]
+
+
+@dataclass
+class IdleServiceResult:
+    """Idle-traffic observation for one service."""
+
+    service: str
+    duration: float
+    login_bytes: int
+    idle_bytes: int
+    cumulative_series: List[Tuple[float, float]] = field(default_factory=list)
+    connections_opened: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Login plus idle traffic."""
+        return self.login_bytes + self.idle_bytes
+
+    @property
+    def background_rate_bps(self) -> float:
+        """Average background traffic rate after login, in bits per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.idle_bytes * 8.0 / self.duration
+
+    @property
+    def daily_volume_bytes(self) -> float:
+        """Projected signalling volume per day at the observed background rate."""
+        return self.background_rate_bps / 8.0 * 86_400.0
+
+
+@dataclass
+class IdleResult:
+    """Fig. 1 data for every service."""
+
+    duration: float
+    services: Dict[str, IdleServiceResult] = field(default_factory=dict)
+
+    def rows(self) -> List[dict]:
+        """Per-service summary rows (login volume, background rate, daily volume)."""
+        rows = []
+        for name, result in self.services.items():
+            rows.append(
+                {
+                    "service": name,
+                    "login_kB": round(result.login_bytes / 1000.0, 1),
+                    "idle_kB": round(result.idle_bytes / 1000.0, 1),
+                    "background_bps": round(result.background_rate_bps, 1),
+                    "daily_MB": round(result.daily_volume_bytes / 1e6, 1),
+                    "connections": result.connections_opened,
+                }
+            )
+        return rows
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """The plotted series: cumulative kB against time, per service."""
+        return {
+            name: [(time, total / 1000.0) for time, total in result.cumulative_series]
+            for name, result in self.services.items()
+        }
+
+
+class IdleExperiment:
+    """Run the login-then-idle scenario for a set of services."""
+
+    def __init__(
+        self,
+        services: Optional[Sequence[str]] = None,
+        duration: float = minutes(16),
+        sample_interval: float = 10.0,
+    ) -> None:
+        self.services = list(services) if services is not None else list(SERVICE_NAMES)
+        self.duration = duration
+        self.sample_interval = sample_interval
+
+    def run_service(self, service: str) -> IdleServiceResult:
+        """Observe one service while idle."""
+        controller = TestbedController(service)
+        login_observation = controller.start_session(polling=True)
+        login_bytes = login_observation.trace.total_bytes()
+        idle_observation = controller.idle(self.duration)
+        idle_bytes = idle_observation.trace.total_bytes()
+        full_trace = controller.sniffer.trace
+        series = analysis.cumulative_bytes_series(
+            full_trace, interval=self.sample_interval, duration=self.duration, relative=True
+        )
+        connections = analysis.count_tcp_connections(full_trace)
+        controller.end_session()
+        return IdleServiceResult(
+            service=service,
+            duration=self.duration,
+            login_bytes=login_bytes,
+            idle_bytes=idle_bytes,
+            cumulative_series=series,
+            connections_opened=connections,
+        )
+
+    def run(self) -> IdleResult:
+        """Observe every configured service."""
+        result = IdleResult(duration=self.duration)
+        for service in self.services:
+            result.services[service] = self.run_service(service)
+        return result

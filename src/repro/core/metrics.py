@@ -1,0 +1,123 @@
+"""Benchmark metrics computed from captured traffic (§5).
+
+Three metrics are reported per (service, workload) pair:
+
+* **synchronization start-up** — from the moment files start being modified
+  until the first packet of a storage flow (§5.1, Fig. 6a);
+* **completion time** — first to last payload packet on storage flows
+  (§5.2, Fig. 6b);
+* **protocol overhead** — total storage plus control traffic divided by the
+  benchmark size (§5.3, Fig. 6c).
+
+All three are derived from an :class:`~repro.testbed.controller.Observation`
+— i.e. from the packet trace and the workload description, never from the
+client's internal state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.capture import analysis
+from repro.errors import CaptureError, ExperimentError
+from repro.testbed.controller import Observation
+
+__all__ = ["PerformanceMetrics", "MetricAggregate", "compute_performance_metrics", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """The paper's three performance metrics for one experiment run."""
+
+    service: str
+    workload: str
+    startup_time: float
+    completion_time: float
+    overhead_fraction: float
+    total_traffic_bytes: int
+    storage_payload_bytes: int
+    upload_throughput_bps: float
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by reports and CSV output."""
+        return {
+            "service": self.service,
+            "workload": self.workload,
+            "startup_s": round(self.startup_time, 3),
+            "completion_s": round(self.completion_time, 3),
+            "overhead": round(self.overhead_fraction, 3),
+            "total_traffic_bytes": self.total_traffic_bytes,
+            "storage_payload_bytes": self.storage_payload_bytes,
+            "throughput_mbps": round(self.upload_throughput_bps / 1e6, 3),
+        }
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean and standard deviation of one metric over repetitions."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricAggregate":
+        """Aggregate a non-empty sequence of values."""
+        if not values:
+            raise ExperimentError("cannot aggregate an empty list of values")
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        return cls(mean=mean, std=math.sqrt(variance), minimum=min(values), maximum=max(values), count=len(values))
+
+
+def compute_performance_metrics(observation: Observation, workload_label: Optional[str] = None) -> PerformanceMetrics:
+    """Compute the Fig. 6 metrics for one upload observation."""
+    if observation.benchmark_bytes <= 0:
+        raise CaptureError("performance metrics need a workload with a positive benchmark size")
+    if observation.modification_time is None:
+        raise CaptureError("performance metrics need the file modification timestamp")
+    trace = observation.trace
+    storage_hosts = observation.storage_hostnames
+    startup = analysis.startup_time(trace, observation.modification_time, storage_hosts)
+    completion = analysis.completion_time(trace, storage_hosts, after=observation.window_start)
+    overhead = analysis.overhead_fraction(trace, observation.benchmark_bytes, after=observation.window_start)
+    storage_payload = trace.to_hosts(storage_hosts).uploaded_payload_bytes()
+    throughput = analysis.upload_throughput_bps(trace, storage_hosts)
+    return PerformanceMetrics(
+        service=observation.service,
+        workload=workload_label or observation.label,
+        startup_time=startup,
+        completion_time=completion,
+        overhead_fraction=overhead,
+        total_traffic_bytes=trace.total_bytes(),
+        storage_payload_bytes=storage_payload,
+        upload_throughput_bps=throughput,
+    )
+
+
+def aggregate_metrics(metrics: Sequence[PerformanceMetrics]) -> dict:
+    """Aggregate repeated runs of the same (service, workload) pair.
+
+    Returns a dictionary with one :class:`MetricAggregate` per metric, plus
+    the identifying service and workload labels (which must be homogeneous
+    across the input).
+    """
+    if not metrics:
+        raise ExperimentError("cannot aggregate an empty metric list")
+    services = {metric.service for metric in metrics}
+    workloads = {metric.workload for metric in metrics}
+    if len(services) != 1 or len(workloads) != 1:
+        raise ExperimentError("aggregate_metrics() expects runs of a single (service, workload) pair")
+    return {
+        "service": next(iter(services)),
+        "workload": next(iter(workloads)),
+        "startup": MetricAggregate.from_values([metric.startup_time for metric in metrics]),
+        "completion": MetricAggregate.from_values([metric.completion_time for metric in metrics]),
+        "overhead": MetricAggregate.from_values([metric.overhead_fraction for metric in metrics]),
+        "throughput_bps": MetricAggregate.from_values([metric.upload_throughput_bps for metric in metrics]),
+        "repetitions": len(metrics),
+    }

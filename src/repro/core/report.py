@@ -1,0 +1,94 @@
+"""Plain-text and CSV rendering of benchmark results.
+
+The paper presents its results as one table (Table 1) and a set of figures;
+this module renders the equivalent rows and series as aligned ASCII tables
+(for the CLI and the examples) and as CSV (for further processing or
+plotting outside this library).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "to_csv", "render_series", "render_grouped_bars"]
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value != int(value) else str(int(value))
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, object]], headers: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(headers) if headers is not None else list(rows[0].keys())
+    table = [[_stringify(row.get(column)) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(line[index]) for line in table)) for index, column in enumerate(columns)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = " | ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    out.write(header_line + "\n")
+    out.write("-+-".join("-" * width for width in widths) + "\n")
+    for line in table:
+        out.write(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(line)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def to_csv(rows: Sequence[Mapping[str, object]], headers: Optional[Sequence[str]] = None) -> str:
+    """Render dictionaries as CSV text (no external dependencies needed)."""
+    if not rows:
+        return ""
+    columns = list(headers) if headers is not None else list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = _stringify(row.get(column))
+            if "," in value or '"' in value:
+                value = '"' + value.replace('"', '""') + '"'
+            cells.append(value)
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Sequence[Tuple[float, float]]], *, x_label: str = "x", y_label: str = "y", title: str = "") -> str:
+    """Render per-service ``(x, y)`` series as a compact text listing."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for name in sorted(series):
+        points = ", ".join(f"({x:g}, {y:g})" for x, y in series[name])
+        out.write(f"{name:>14} [{x_label} -> {y_label}]: {points}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def render_grouped_bars(
+    data: Mapping[str, Mapping[str, float]],
+    *,
+    group_order: Optional[Iterable[str]] = None,
+    value_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render ``{series: {group: value}}`` as rows of groups × series.
+
+    This matches the layout of Fig. 6: groups are the workloads on the
+    x-axis, series are the five services.
+    """
+    services = sorted(data)
+    groups: List[str] = list(group_order) if group_order is not None else sorted(
+        {group for values in data.values() for group in values}
+    )
+    rows = []
+    for group in groups:
+        row: Dict[str, object] = {"workload": group}
+        for service in services:
+            value = data.get(service, {}).get(group)
+            row[service] = value_format.format(value) if value is not None else "-"
+        rows.append(row)
+    return render_table(rows, headers=["workload", *services], title=title)

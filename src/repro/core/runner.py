@@ -1,0 +1,151 @@
+"""The full benchmark suite: every table and figure in one run.
+
+:class:`BenchmarkSuite` strings together the capability matrix (Table 1) and
+the six figure experiments, with knobs to trade fidelity (repetitions,
+resolver counts, idle duration) against runtime.  It is what the command
+line interface and the ``examples/full_campaign.py`` script drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.capabilities import CapabilityMatrix, CapabilityProber
+from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
+from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult
+from repro.core.experiments.delta import DeltaEncodingExperiment, DeltaResult
+from repro.core.experiments.idle import IdleExperiment, IdleResult
+from repro.core.experiments.performance import PerformanceExperiment, PerformanceResult
+from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
+from repro.core.report import render_grouped_bars, render_table
+from repro.core.workloads import PAPER_WORKLOADS
+from repro.randomness import DEFAULT_SEED
+from repro.services.registry import SERVICE_NAMES
+from repro.units import minutes
+
+__all__ = ["SuiteResult", "BenchmarkSuite"]
+
+
+@dataclass
+class SuiteResult:
+    """Everything a full benchmarking campaign produces."""
+
+    capabilities: Optional[CapabilityMatrix] = None
+    idle: Optional[IdleResult] = None
+    datacenters: Optional[DataCenterResult] = None
+    syn_series: Optional[SynSeriesResult] = None
+    delta: Optional[DeltaResult] = None
+    compression: Optional[CompressionExperimentResult] = None
+    performance: Optional[PerformanceResult] = None
+
+    def summary_text(self) -> str:
+        """Human-readable digest of every collected artifact."""
+        sections: List[str] = []
+        if self.capabilities is not None:
+            sections.append(render_table(self.capabilities.rows(), title="Table 1 — capabilities"))
+        if self.idle is not None:
+            sections.append(render_table(self.idle.rows(), title="Fig. 1 — idle/background traffic"))
+        if self.datacenters is not None:
+            sections.append(render_table(self.datacenters.rows(), title="Fig. 2 / §3.2 — data centers"))
+        if self.syn_series is not None:
+            sections.append(render_table(self.syn_series.rows(), title="Fig. 3 — TCP connections for 100x10kB"))
+        if self.delta is not None:
+            sections.append(render_table(self.delta.rows(), title="Fig. 4 — delta encoding"))
+        if self.compression is not None:
+            sections.append(render_table(self.compression.rows(), title="Fig. 5 — compression"))
+        if self.performance is not None:
+            workload_order = [workload.name for workload in PAPER_WORKLOADS]
+            sections.append(
+                render_grouped_bars(
+                    self.performance.figure_series("startup"), group_order=workload_order, title="Fig. 6a — start-up time (s)"
+                )
+            )
+            sections.append(
+                render_grouped_bars(
+                    self.performance.figure_series("completion"),
+                    group_order=workload_order,
+                    title="Fig. 6b — completion time (s)",
+                )
+            )
+            sections.append(
+                render_grouped_bars(
+                    self.performance.figure_series("overhead"),
+                    group_order=workload_order,
+                    value_format="{:.3f}",
+                    title="Fig. 6c — protocol overhead (fraction)",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+class BenchmarkSuite:
+    """Run the whole benchmarking campaign of the paper."""
+
+    def __init__(
+        self,
+        services: Optional[Sequence[str]] = None,
+        *,
+        repetitions: int = 3,
+        idle_duration: float = minutes(16),
+        resolver_count: int = 500,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.services = list(services) if services is not None else list(SERVICE_NAMES)
+        self.repetitions = repetitions
+        self.idle_duration = idle_duration
+        self.resolver_count = resolver_count
+        self.seed = seed
+
+    # Individual stages ---------------------------------------------------- #
+    def run_capabilities(self) -> CapabilityMatrix:
+        """Table 1."""
+        return CapabilityProber(seed=self.seed).build_matrix(self.services)
+
+    def run_idle(self) -> IdleResult:
+        """Fig. 1."""
+        return IdleExperiment(self.services, duration=self.idle_duration).run()
+
+    def run_datacenters(self) -> DataCenterResult:
+        """Fig. 2 / §3.2."""
+        return DataCenterExperiment(self.services, resolver_count=self.resolver_count).run()
+
+    def run_syn_series(self) -> SynSeriesResult:
+        """Fig. 3."""
+        services = [name for name in ("clouddrive", "googledrive") if name in self.services] or self.services
+        return SynSeriesExperiment(services, seed=self.seed).run()
+
+    def run_delta(self) -> DeltaResult:
+        """Fig. 4."""
+        return DeltaEncodingExperiment(self.services, seed=self.seed).run()
+
+    def run_compression(self) -> CompressionExperimentResult:
+        """Fig. 5."""
+        return CompressionExperiment(self.services, seed=self.seed).run()
+
+    def run_performance(self) -> PerformanceResult:
+        """Fig. 6."""
+        return PerformanceExperiment(self.services, repetitions=self.repetitions, seed=self.seed).run()
+
+    # Whole campaign -------------------------------------------------------- #
+    def run(self, stages: Optional[Sequence[str]] = None) -> SuiteResult:
+        """Run the requested stages (default: all of them) and collect the results."""
+        wanted = set(stages) if stages is not None else {
+            "capabilities", "idle", "datacenters", "syn_series", "delta", "compression", "performance",
+        }
+        result = SuiteResult()
+        if "capabilities" in wanted:
+            result.capabilities = self.run_capabilities()
+        if "idle" in wanted:
+            result.idle = self.run_idle()
+        if "datacenters" in wanted:
+            result.datacenters = self.run_datacenters()
+        if "syn_series" in wanted:
+            result.syn_series = self.run_syn_series()
+        if "delta" in wanted:
+            result.delta = self.run_delta()
+        if "compression" in wanted:
+            result.compression = self.run_compression()
+        if "performance" in wanted:
+            result.performance = self.run_performance()
+        return result

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the cloud-storage benchmarking library.
+
+All library-specific errors derive from :class:`CloudBenchError` so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class CloudBenchError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(CloudBenchError):
+    """A service profile, workload or experiment was mis-configured."""
+
+
+class SimulationError(CloudBenchError):
+    """The network simulator was driven into an invalid state."""
+
+
+class ConnectionStateError(SimulationError):
+    """An operation was attempted on a closed or unestablished connection."""
+
+
+class ServiceError(CloudBenchError):
+    """A simulated cloud-storage service rejected or failed an operation."""
+
+
+class UnknownServiceError(ServiceError):
+    """A service name was requested that is not present in the registry."""
+
+
+class StorageBackendError(ServiceError):
+    """The simulated server-side storage backend failed an operation."""
+
+
+class CaptureError(CloudBenchError):
+    """Packet-trace analysis was asked for something the trace cannot answer."""
+
+
+class GeolocationError(CloudBenchError):
+    """The geolocation pipeline could not produce a location estimate."""
+
+
+class WorkloadError(CloudBenchError):
+    """A workload specification could not be generated."""
+
+
+class ExperimentError(CloudBenchError):
+    """An experiment failed to run or to aggregate its results."""

@@ -1,0 +1,41 @@
+"""File generators used to build benchmark workloads.
+
+The paper's testing application creates files of different types at run time
+(§2): text files composed of random words from a dictionary, images with
+random pixels, random binary files, and "fake JPEGs" (files carrying a JPEG
+extension and header but containing text, §4.5).  This package provides
+deterministic generators for all of them.
+
+Public API
+----------
+:class:`GeneratedFile`
+    A named, in-memory file plus the kind of content it carries.
+:func:`generate_file`
+    Dispatch on a :class:`FileKind` and produce one file.
+:func:`generate_batch`
+    Produce a batch of files of equal size, as used by the benchmarks.
+"""
+
+from repro.filegen.model import FileKind, GeneratedFile
+from repro.filegen.text import RandomTextGenerator, generate_text
+from repro.filegen.binary import RandomBinaryGenerator, generate_binary
+from repro.filegen.jpeg import FakeJPEGGenerator, RandomImageGenerator, generate_fake_jpeg, generate_image
+from repro.filegen.batch import generate_batch, generate_file
+from repro.filegen.dictionary import WORDS, random_words
+
+__all__ = [
+    "FileKind",
+    "GeneratedFile",
+    "RandomTextGenerator",
+    "RandomBinaryGenerator",
+    "FakeJPEGGenerator",
+    "RandomImageGenerator",
+    "generate_text",
+    "generate_binary",
+    "generate_fake_jpeg",
+    "generate_image",
+    "generate_file",
+    "generate_batch",
+    "WORDS",
+    "random_words",
+]

@@ -1,0 +1,57 @@
+"""Batch construction helpers used by workloads and capability probes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.filegen.binary import RandomBinaryGenerator
+from repro.filegen.jpeg import FakeJPEGGenerator, RandomImageGenerator
+from repro.filegen.model import FileKind, GeneratedFile
+from repro.filegen.text import RandomTextGenerator
+from repro.randomness import DEFAULT_SEED, derive_seed
+
+__all__ = ["generate_file", "generate_batch"]
+
+
+def generate_file(kind: FileKind, size: int, name: str | None = None, seed: int = DEFAULT_SEED) -> GeneratedFile:
+    """Generate one file of the requested ``kind`` and ``size``.
+
+    ``name`` defaults to ``file_<size>`` with the kind's standard extension.
+    """
+    if name is None:
+        name = f"file_{size}{kind.extension}"
+    if kind is FileKind.TEXT:
+        return RandomTextGenerator(seed).generate(size, name)
+    if kind is FileKind.BINARY:
+        return RandomBinaryGenerator(seed).generate(size, name)
+    if kind is FileKind.IMAGE:
+        return RandomImageGenerator(seed).generate(size, name)
+    if kind is FileKind.FAKE_JPEG:
+        return FakeJPEGGenerator(seed).generate(size, name)
+    raise WorkloadError(f"unknown file kind: {kind!r}")
+
+
+def generate_batch(
+    kind: FileKind,
+    count: int,
+    size: int,
+    prefix: str = "batch",
+    seed: int = DEFAULT_SEED,
+) -> List[GeneratedFile]:
+    """Generate ``count`` files of ``size`` bytes each, all of the same ``kind``.
+
+    This mirrors the paper's upload sets: the same amount of total data split
+    into 1, 10, 100 or 1000 files (§4.2), or the 8 performance workloads of
+    §5.  Files get unique names ``<prefix>_NNN<ext>`` and independent random
+    content streams derived from ``seed``.
+    """
+    if count <= 0:
+        raise WorkloadError("a batch must contain at least one file")
+    if size < 0:
+        raise WorkloadError("file size must be non-negative")
+    files = []
+    for index in range(count):
+        name = f"{prefix}_{index:04d}{kind.extension}"
+        files.append(generate_file(kind, size, name=name, seed=derive_seed(seed, prefix, index)))
+    return files

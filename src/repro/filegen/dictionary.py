@@ -1,0 +1,66 @@
+"""A small English dictionary used to produce compressible text files.
+
+The paper's testing application builds text files from "random words from a
+dictionary" (§2).  We embed a compact word list (rather than depending on
+``/usr/share/dict``) so text generation is self-contained and deterministic.
+The list mixes very common English words with networking vocabulary; what
+matters for the benchmarks is only that the resulting text is highly
+compressible and looks like natural language to a compressor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["WORDS", "random_words", "random_sentence", "random_paragraph"]
+
+WORDS: List[str] = [
+    "the", "of", "and", "to", "in", "that", "for", "with", "as", "was",
+    "cloud", "storage", "service", "client", "server", "file", "folder",
+    "synchronization", "upload", "download", "traffic", "network", "packet",
+    "measurement", "benchmark", "capacity", "performance", "latency",
+    "bandwidth", "protocol", "connection", "transfer", "data", "center",
+    "chunk", "bundle", "compression", "deduplication", "delta", "encoding",
+    "overhead", "startup", "completion", "experiment", "methodology",
+    "architecture", "capability", "design", "implementation", "analysis",
+    "internet", "provider", "user", "device", "share", "content", "remote",
+    "local", "popular", "significant", "result", "system", "application",
+    "different", "several", "various", "between", "during", "after", "before",
+    "first", "second", "third", "large", "small", "fast", "slow", "time",
+    "byte", "kilobyte", "megabyte", "second", "minute", "hour", "day",
+    "europe", "america", "virginia", "ireland", "oregon", "seattle",
+    "singapore", "zurich", "nuremberg", "france", "torino", "twente",
+    "dropbox", "skydrive", "wuala", "google", "drive", "amazon",
+    "observe", "monitor", "compute", "measure", "compare", "evaluate",
+    "reveal", "identify", "analyze", "investigate", "understand", "report",
+    "table", "figure", "section", "paper", "study", "work", "previous",
+    "moreover", "however", "therefore", "finally", "interestingly",
+    "surprisingly", "importantly", "overall", "instead", "because",
+    "window", "handshake", "session", "certificate", "encryption", "privacy",
+    "metadata", "notification", "polling", "control", "flow", "burst",
+    "throughput", "roundtrip", "resolver", "address", "location", "owner",
+    "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "while",
+    "people", "company", "offer", "free", "price", "attract", "simple",
+    "great", "push", "market", "become", "pervasive", "routine", "usage",
+    "already", "produce", "share", "valuable", "guideline", "building",
+    "better", "performing", "wisely", "resource", "goal", "twofold",
+]
+
+
+def random_words(rng: random.Random, count: int) -> List[str]:
+    """Return ``count`` words drawn uniformly at random from :data:`WORDS`."""
+    return [rng.choice(WORDS) for _ in range(count)]
+
+
+def random_sentence(rng: random.Random, min_words: int = 5, max_words: int = 14) -> str:
+    """Return one capitalised sentence of random dictionary words."""
+    count = rng.randint(min_words, max_words)
+    words = random_words(rng, count)
+    sentence = " ".join(words)
+    return sentence[:1].upper() + sentence[1:] + "."
+
+
+def random_paragraph(rng: random.Random, sentences: int = 6) -> str:
+    """Return a paragraph of ``sentences`` random sentences."""
+    return " ".join(random_sentence(rng) for _ in range(sentences))

@@ -1,0 +1,76 @@
+"""Common data model for generated workload files."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class FileKind(str, enum.Enum):
+    """The content classes used by the paper's benchmarks.
+
+    * ``TEXT``   — highly compressible text made of dictionary words (§2, §4.5).
+    * ``BINARY`` — incompressible random bytes (§2, §5).
+    * ``IMAGE``  — image files with random pixels (§2); effectively incompressible.
+    * ``FAKE_JPEG`` — JPEG extension and header but text content (§4.5), used to
+      probe whether a service inspects content before compressing.
+    """
+
+    TEXT = "text"
+    BINARY = "binary"
+    IMAGE = "image"
+    FAKE_JPEG = "fake_jpeg"
+
+    @property
+    def extension(self) -> str:
+        """Default filename extension for this content class."""
+        return {
+            FileKind.TEXT: ".txt",
+            FileKind.BINARY: ".bin",
+            FileKind.IMAGE: ".jpg",
+            FileKind.FAKE_JPEG: ".jpg",
+        }[self]
+
+
+@dataclass
+class GeneratedFile:
+    """A named in-memory file used as benchmark workload.
+
+    Attributes
+    ----------
+    name:
+        File name, including extension, relative to the synced folder.
+    content:
+        Raw file bytes.
+    kind:
+        The :class:`FileKind` that produced the content.
+    """
+
+    name: str
+    content: bytes
+    kind: FileKind = FileKind.BINARY
+    _digest: str = field(default="", repr=False, compare=False)
+
+    @property
+    def size(self) -> int:
+        """File size in bytes."""
+        return len(self.content)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 digest of the content (cached)."""
+        if not self._digest:
+            self._digest = hashlib.sha256(self.content).hexdigest()
+        return self._digest
+
+    def with_content(self, content: bytes, name: str | None = None) -> "GeneratedFile":
+        """Return a copy of this file with new content (and optionally a new name)."""
+        return GeneratedFile(name=name or self.name, content=content, kind=self.kind)
+
+    def renamed(self, name: str) -> "GeneratedFile":
+        """Return a copy with the same content under a different name."""
+        return GeneratedFile(name=name, content=self.content, kind=self.kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GeneratedFile(name={self.name!r}, size={self.size}, kind={self.kind.value})"

@@ -1,0 +1,49 @@
+"""Data-center discovery substrate.
+
+The paper locates each service's front-end infrastructure by (§2.1):
+
+1. collecting the DNS names the client contacts,
+2. resolving those names through >2,000 open DNS resolvers spread over more
+   than 100 countries (geo-DNS returns different front-ends to different
+   resolvers),
+3. attributing the returned IPs to owners via whois,
+4. geolocating each IP with a hybrid of reverse-DNS airport codes, shortest
+   RTT to PlanetLab vantage points, and traceroute.
+
+This package provides a simulated world (locations, data centers, IP blocks,
+authoritative DNS with geo-routing, open resolvers, PlanetLab nodes) plus
+the discovery pipeline itself, so the methodology can be executed end to end
+and validated against ground truth.
+"""
+
+from repro.geo.locations import Location, haversine_km, find_location, all_locations
+from repro.geo.datacenters import DataCenter, DataCenterRole, provider_datacenters, google_edge_nodes
+from repro.geo.dns import AuthoritativeDNS, OpenResolver, build_resolver_set, GeoDNSPolicy
+from repro.geo.whois import WhoisDatabase
+from repro.geo.vantage import PlanetLabNode, build_planetlab_nodes, Traceroute
+from repro.geo.geolocate import HybridGeolocator, LocationEstimate
+from repro.geo.discovery import DataCenterDiscovery, DiscoveryReport, DiscoveredFrontEnd
+
+__all__ = [
+    "Location",
+    "haversine_km",
+    "find_location",
+    "all_locations",
+    "DataCenter",
+    "DataCenterRole",
+    "provider_datacenters",
+    "google_edge_nodes",
+    "AuthoritativeDNS",
+    "OpenResolver",
+    "build_resolver_set",
+    "GeoDNSPolicy",
+    "WhoisDatabase",
+    "PlanetLabNode",
+    "build_planetlab_nodes",
+    "Traceroute",
+    "HybridGeolocator",
+    "LocationEstimate",
+    "DataCenterDiscovery",
+    "DiscoveryReport",
+    "DiscoveredFrontEnd",
+]

@@ -1,0 +1,138 @@
+"""The data-center discovery pipeline (§2.1, §3.2, Fig. 2).
+
+Given the DNS names a client was observed contacting, the pipeline:
+
+1. resolves each name through every open resolver in the world-wide set
+   (geo-DNS then exposes one front-end per region for services like Google
+   Drive, and a stable handful of addresses for centralised services),
+2. attributes every distinct address to an owner via whois,
+3. geolocates every address with the hybrid geolocator,
+4. aggregates the result into a per-provider report: front-end count,
+   distinct sites, owners, and — when ground truth is available — the
+   geolocation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.geo.datacenters import DataCenterCatalogue
+from repro.geo.dns import AuthoritativeDNS, OpenResolver
+from repro.geo.geolocate import HybridGeolocator, LocationEstimate
+from repro.geo.locations import Location
+from repro.geo.whois import WhoisDatabase
+
+__all__ = ["DiscoveredFrontEnd", "DiscoveryReport", "DataCenterDiscovery"]
+
+
+@dataclass
+class DiscoveredFrontEnd:
+    """One front-end address discovered through the resolver fan-out."""
+
+    ip: str
+    hostnames: List[str]
+    owner: str
+    estimate: LocationEstimate
+    resolver_count: int = 0
+    ground_truth: Optional[Location] = None
+
+    @property
+    def location(self) -> Location:
+        """Estimated location of the front-end."""
+        return self.estimate.location
+
+    @property
+    def geolocation_error_km(self) -> Optional[float]:
+        """Estimation error against ground truth, when ground truth is known."""
+        if self.ground_truth is None:
+            return None
+        return self.estimate.error_km(self.ground_truth)
+
+
+@dataclass
+class DiscoveryReport:
+    """Aggregated discovery results for one provider."""
+
+    provider: str
+    hostnames: List[str]
+    front_ends: List[DiscoveredFrontEnd] = field(default_factory=list)
+    resolvers_used: int = 0
+
+    @property
+    def distinct_ips(self) -> int:
+        """Number of distinct front-end addresses found."""
+        return len(self.front_ends)
+
+    @property
+    def distinct_sites(self) -> int:
+        """Number of distinct (city, country) sites the front-ends map to."""
+        return len({(fe.location.city, fe.location.country) for fe in self.front_ends})
+
+    @property
+    def owners(self) -> List[str]:
+        """Sorted list of infrastructure owners seen for this provider."""
+        return sorted({fe.owner for fe in self.front_ends})
+
+    @property
+    def countries(self) -> List[str]:
+        """Sorted list of countries hosting the provider's front-ends."""
+        return sorted({fe.location.country for fe in self.front_ends})
+
+    def sites(self) -> List[Location]:
+        """Distinct estimated locations (one entry per site)."""
+        seen: Dict[str, Location] = {}
+        for front_end in self.front_ends:
+            key = f"{front_end.location.city}|{front_end.location.country}"
+            seen.setdefault(key, front_end.location)
+        return list(seen.values())
+
+    def mean_geolocation_error_km(self) -> Optional[float]:
+        """Average geolocation error where ground truth is known."""
+        errors = [fe.geolocation_error_km for fe in self.front_ends if fe.geolocation_error_km is not None]
+        if not errors:
+            return None
+        return sum(errors) / len(errors)
+
+
+class DataCenterDiscovery:
+    """Runs the full §2.1 methodology against the simulated world."""
+
+    def __init__(
+        self,
+        dns: AuthoritativeDNS,
+        resolvers: Sequence[OpenResolver],
+        whois: WhoisDatabase,
+        geolocator: HybridGeolocator,
+        catalogue: Optional[DataCenterCatalogue] = None,
+    ) -> None:
+        self._dns = dns
+        self._resolvers = list(resolvers)
+        self._whois = whois
+        self._geolocator = geolocator
+        self._catalogue = catalogue
+
+    def discover(self, provider: str, hostnames: Sequence[str]) -> DiscoveryReport:
+        """Resolve ``hostnames`` world-wide and characterise every address found."""
+        report = DiscoveryReport(provider=provider, hostnames=list(hostnames), resolvers_used=len(self._resolvers))
+        ip_hostnames: Dict[str, set] = {}
+        ip_resolver_count: Dict[str, int] = {}
+        for resolver in self._resolvers:
+            for hostname in hostnames:
+                for ip in resolver.query(self._dns, hostname):
+                    ip_hostnames.setdefault(ip, set()).add(hostname)
+                    ip_resolver_count[ip] = ip_resolver_count.get(ip, 0) + 1
+        for ip in sorted(ip_hostnames):
+            estimate = self._geolocator.locate(ip)
+            ground_truth = self._catalogue.location_of_ip(ip) if self._catalogue is not None else None
+            report.front_ends.append(
+                DiscoveredFrontEnd(
+                    ip=ip,
+                    hostnames=sorted(ip_hostnames[ip]),
+                    owner=self._whois.owner_of(ip),
+                    estimate=estimate,
+                    resolver_count=ip_resolver_count[ip],
+                    ground_truth=ground_truth,
+                )
+            )
+        return report

@@ -1,0 +1,51 @@
+"""Simulated whois service: IP address block ownership."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.geo.datacenters import DataCenter
+
+__all__ = ["WhoisRecord", "WhoisDatabase"]
+
+
+@dataclass(frozen=True)
+class WhoisRecord:
+    """Ownership information for one address block."""
+
+    ip_prefix: str
+    owner: str
+    netname: str
+    country: str
+
+
+class WhoisDatabase:
+    """Answers "who owns this IP?" exactly as the paper uses whois (§2.1).
+
+    Ownership identifies the *infrastructure operator* (e.g. Amazon Web
+    Services for Dropbox's storage servers), which is how the paper tells
+    apart services running on their own hardware from services renting it.
+    """
+
+    def __init__(self, datacenters: Sequence[DataCenter]) -> None:
+        self._records: Dict[str, WhoisRecord] = {}
+        for datacenter in datacenters:
+            self._records[datacenter.ip_prefix] = WhoisRecord(
+                ip_prefix=datacenter.ip_prefix,
+                owner=datacenter.owner,
+                netname=datacenter.name.upper().replace("-", ""),
+                country=datacenter.location.country,
+            )
+
+    def lookup(self, ip: str) -> Optional[WhoisRecord]:
+        """Return the record covering ``ip``, or ``None`` for unknown space."""
+        return self._records.get(ip.rsplit(".", 1)[0])
+
+    def owner_of(self, ip: str) -> str:
+        """Return the owner organisation of ``ip`` (``"unknown"`` if absent)."""
+        record = self.lookup(ip)
+        return record.owner if record is not None else "unknown"
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,39 @@
+"""Simulated wall clock."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    The clock only moves forward; attempts to set it backwards indicate a
+    bug in a caller and raise :class:`SimulationError`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward by ``duration`` seconds and return the new time."""
+        if duration < 0:
+            raise SimulationError(f"cannot advance clock by negative duration {duration!r}")
+        self._now += duration
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,30 @@
+"""Network endpoints (client machine and cloud servers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Endpoint"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A reachable host: DNS name, IP address and TCP port.
+
+    Cloud services are identified in the paper by the DNS names the client
+    contacts plus the IP addresses those names resolve to (§2.1); both are
+    therefore part of the endpoint identity and end up stamped on every
+    captured packet.
+    """
+
+    hostname: str
+    ip: str
+    port: int = 443
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.hostname} ({self.ip}:{self.port})"
+
+
+#: Endpoint used for the test computer in every experiment.  The address is
+#: from the TEST-NET-3 block so it can never collide with simulated servers.
+CLIENT_ENDPOINT = Endpoint(hostname="test-computer.local", ip="203.0.113.10", port=0)

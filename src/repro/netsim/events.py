@@ -1,0 +1,69 @@
+"""Scheduled-event queue for background activity (polling, keep-alives)."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event scheduled to fire at a simulated time.
+
+    Ordering is by ``(fire_at, sequence)`` so events scheduled for the same
+    instant run in scheduling order.
+    """
+
+    fire_at: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`ScheduledEvent` ordered by fire time."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, fire_at: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run at simulated time ``fire_at``."""
+        event = ScheduledEvent(fire_at=fire_at, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].fire_at
+
+    def pop_due(self, now: float) -> Optional[ScheduledEvent]:
+        """Pop and return the earliest event due at or before ``now``, or ``None``."""
+        while self._heap:
+            if self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if self._heap[0].fire_at <= now:
+                return heapq.heappop(self._heap)
+            return None
+        return None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,95 @@
+"""HTTP/HTTPS request framing on top of TCP connections.
+
+All clients studied in the paper speak HTTP(S) to their servers (§3.1).  The
+simulator does not build real HTTP messages; it charges realistic header
+byte counts per exchange and reuses :meth:`TCPConnection.request` for the
+latency behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConnectionStateError
+from repro.netsim.tcp import TCPConnection, TransferStats
+
+__all__ = ["HTTPExchange", "HTTPChannel", "DEFAULT_REQUEST_HEADER_BYTES", "DEFAULT_RESPONSE_HEADER_BYTES"]
+
+#: Typical request header size (method, URL, host, auth token, cookies...).
+DEFAULT_REQUEST_HEADER_BYTES = 420
+#: Typical response header size.
+DEFAULT_RESPONSE_HEADER_BYTES = 280
+
+
+@dataclass
+class HTTPExchange:
+    """Byte accounting for one HTTP request/response pair."""
+
+    method: str = "POST"
+    request_body: int = 0
+    response_body: int = 0
+    request_headers: int = DEFAULT_REQUEST_HEADER_BYTES
+    response_headers: int = DEFAULT_RESPONSE_HEADER_BYTES
+    note: str = "http"
+
+    @property
+    def request_bytes(self) -> int:
+        """Total bytes sent upstream for the request."""
+        return self.request_headers + self.request_body
+
+    @property
+    def response_bytes(self) -> int:
+        """Total bytes received downstream for the response."""
+        return self.response_headers + self.response_body
+
+
+class HTTPChannel:
+    """A persistent HTTP(S) channel bound to one TCP connection."""
+
+    def __init__(self, connection: TCPConnection) -> None:
+        self._connection = connection
+        self.exchanges = 0
+
+    @property
+    def connection(self) -> TCPConnection:
+        """The underlying TCP connection."""
+        return self._connection
+
+    def perform(self, exchange: HTTPExchange, *, server_processing: Optional[float] = None) -> TransferStats:
+        """Execute one request/response ``exchange`` on the channel."""
+        if not self._connection.is_open:
+            raise ConnectionStateError("HTTP channel used on a closed connection")
+        stats = self._connection.request(
+            exchange.request_bytes,
+            exchange.response_bytes,
+            note=f"{exchange.note}:{exchange.method.lower()}",
+            server_processing=server_processing,
+        )
+        self.exchanges += 1
+        return stats
+
+    def get(self, response_body: int, *, note: str = "http-get", server_processing: Optional[float] = None) -> TransferStats:
+        """Convenience wrapper for a GET-style exchange."""
+        return self.perform(
+            HTTPExchange(method="GET", request_body=0, response_body=response_body, note=note),
+            server_processing=server_processing,
+        )
+
+    def post(
+        self,
+        request_body: int,
+        response_body: int = 0,
+        *,
+        note: str = "http-post",
+        server_processing: Optional[float] = None,
+    ) -> TransferStats:
+        """Convenience wrapper for a POST/PUT-style exchange."""
+        return self.perform(
+            HTTPExchange(method="POST", request_body=request_body, response_body=response_body, note=note),
+            server_processing=server_processing,
+        )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()

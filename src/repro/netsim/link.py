@@ -1,0 +1,61 @@
+"""Network path model: RTT and asymmetric capacity to a given destination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import mbps
+
+__all__ = ["NetworkPath"]
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """Characteristics of the path between the test computer and one server.
+
+    Attributes
+    ----------
+    rtt:
+        Base round-trip time in seconds (e.g. ``0.160`` for SkyDrive from the
+        paper's European vantage point, ``0.015`` for Google Drive's nearby
+        edge node).
+    uplink_bps / downlink_bps:
+        Bottleneck rates in bits per second for traffic leaving / entering
+        the test computer.  The campus access link in the paper is 1 Gb/s and
+        never the bottleneck; the effective rates here model the server-side
+        and transit limits actually observed.
+    server_processing:
+        Fixed per-request processing delay added by the server before it
+        answers an application-level request.
+    """
+
+    rtt: float
+    uplink_bps: float = mbps(100.0)
+    downlink_bps: float = mbps(100.0)
+    server_processing: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.rtt < 0:
+            raise ConfigurationError("path RTT must be non-negative")
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ConfigurationError("path rates must be positive")
+        if self.server_processing < 0:
+            raise ConfigurationError("server processing delay must be non-negative")
+
+    def rate(self, upstream: bool) -> float:
+        """Return the bottleneck rate for the given direction (bits/s)."""
+        return self.uplink_bps if upstream else self.downlink_bps
+
+    def serialization_time(self, nbytes: int, upstream: bool = True) -> float:
+        """Time to push ``nbytes`` through the bottleneck in one direction."""
+        return nbytes * 8.0 / self.rate(upstream)
+
+    def scaled(self, rtt_factor: float = 1.0, rate_factor: float = 1.0) -> "NetworkPath":
+        """Return a copy with RTT and rates scaled (used by ablation studies)."""
+        return NetworkPath(
+            rtt=self.rtt * rtt_factor,
+            uplink_bps=self.uplink_bps * rate_factor,
+            downlink_bps=self.downlink_bps * rate_factor,
+            server_processing=self.server_processing,
+        )

@@ -1,0 +1,95 @@
+"""Packet records produced by the simulator and consumed by the sniffer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PacketDirection", "TCPFlags", "Packet", "MSS", "TCP_IP_HEADER_BYTES"]
+
+#: Maximum segment size used by the simulated TCP stacks (Ethernet MTU 1500
+#: minus 40 bytes of TCP/IP headers).
+MSS = 1460
+
+#: Combined IPv4 + TCP header size without options, charged to every packet.
+TCP_IP_HEADER_BYTES = 40
+
+
+class PacketDirection(str, enum.Enum):
+    """Direction of a packet relative to the test computer."""
+
+    OUT = "out"  # test computer -> cloud
+    IN = "in"    # cloud -> test computer
+
+
+class TCPFlags(enum.Flag):
+    """Subset of TCP flags the analysis cares about."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    FIN = enum.auto()
+    PSH = enum.auto()
+    RST = enum.auto()
+
+
+@dataclass
+class Packet:
+    """One simulated packet as seen at the test computer's network interface.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated capture time in seconds.
+    src / dst:
+        IP addresses (strings) of the two ends.
+    src_port / dst_port:
+        TCP ports.
+    direction:
+        Whether the packet leaves (``OUT``) or enters (``IN``) the test computer.
+    flags:
+        TCP flags; handshake packets carry ``SYN``.
+    payload_len:
+        Application payload bytes carried (TLS records count as payload here,
+        matching what a real capture sees above TCP).
+    headers_len:
+        Link/IP/TCP header bytes charged to the packet.
+    protocol:
+        ``"TCP"`` always; kept for trace realism/filters.
+    connection_id:
+        Identifier of the simulated connection this packet belongs to.
+    hostname:
+        Server DNS name the connection was opened to (what the paper obtains
+        from DNS/SNI inspection); used to classify control vs. storage flows.
+    note:
+        Free-form annotation (e.g. ``"tls-handshake"``, ``"http-request"``).
+    """
+
+    timestamp: float
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    direction: PacketDirection
+    flags: TCPFlags = TCPFlags.NONE
+    payload_len: int = 0
+    headers_len: int = TCP_IP_HEADER_BYTES
+    protocol: str = "TCP"
+    connection_id: int = 0
+    hostname: str = ""
+    note: str = field(default="", repr=False)
+
+    @property
+    def wire_len(self) -> int:
+        """Total bytes on the wire (headers + payload)."""
+        return self.headers_len + self.payload_len
+
+    @property
+    def is_syn(self) -> bool:
+        """True for SYN or SYN/ACK packets."""
+        return bool(self.flags & TCPFlags.SYN)
+
+    @property
+    def has_payload(self) -> bool:
+        """True if the packet carries application payload."""
+        return self.payload_len > 0

@@ -1,0 +1,139 @@
+"""The network simulator facade: clock, event queue, connections and sniffers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.clock import SimClock
+from repro.netsim.endpoint import CLIENT_ENDPOINT, Endpoint
+from repro.netsim.events import EventQueue, ScheduledEvent
+from repro.netsim.link import NetworkPath
+from repro.netsim.packet import Packet
+from repro.netsim.tcp import TCPConnection
+from repro.netsim.tls import TLSParameters
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """Owns simulated time, background events and packet distribution.
+
+    A single simulator instance corresponds to the paper's test computer: it
+    has one network interface (one client endpoint) from which connections
+    are opened to the cloud, and the sniffers attached to it see every packet
+    crossing that interface — exactly the capture point of the testbed.
+    """
+
+    def __init__(self, client: Endpoint = CLIENT_ENDPOINT, start_time: float = 0.0) -> None:
+        self.client = client
+        self.clock = SimClock(start_time)
+        self.events = EventQueue()
+        self._sniffers: List[Callable[[Packet], None]] = []
+        self._next_connection_id = 1
+        self._next_ephemeral_port = 49152
+        self._dispatching_events = False
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        return self.events.schedule(self.now + delay, callback, label=label)
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute simulated time ``timestamp``."""
+        if timestamp < self.now:
+            raise SimulationError("cannot schedule an event in the past")
+        return self.events.schedule(timestamp, callback, label=label)
+
+    def run_until(self, timestamp: float) -> None:
+        """Advance simulated time to ``timestamp``, firing due background events.
+
+        Events may themselves perform network operations; those advance the
+        clock directly and any extra events they schedule are processed in
+        turn, as long as they are due before ``timestamp``.
+        """
+        if timestamp < self.now:
+            raise SimulationError("run_until() cannot move time backwards")
+        if self._dispatching_events:
+            # A background callback is already being dispatched; just move time.
+            self.clock.advance_to(timestamp)
+            return
+        self._dispatching_events = True
+        try:
+            while True:
+                event = self.events.pop_due(timestamp)
+                if event is None:
+                    break
+                if event.cancelled:
+                    continue
+                self.clock.advance_to(event.fire_at)
+                event.callback()
+            self.clock.advance_to(timestamp)
+        finally:
+            self._dispatching_events = False
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds, firing due events."""
+        self.run_until(self.now + duration)
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    def open_connection(
+        self,
+        remote: Endpoint,
+        path: NetworkPath,
+        *,
+        tls: Optional[TLSParameters] = None,
+        handshake: bool = True,
+    ) -> TCPConnection:
+        """Open a connection from the test computer to ``remote`` over ``path``.
+
+        When ``handshake`` is true (default) the TCP — and, if ``tls`` is
+        given, TLS — handshakes are performed immediately, advancing the
+        clock and emitting the corresponding packets.
+        """
+        connection = TCPConnection(
+            simulator=self,
+            local=self.client,
+            remote=remote,
+            path=path,
+            connection_id=self._next_connection_id,
+            local_port=self._next_ephemeral_port,
+            tls=tls,
+        )
+        self._next_connection_id += 1
+        self._next_ephemeral_port += 1
+        if self._next_ephemeral_port > 65535:
+            self._next_ephemeral_port = 49152
+        if handshake:
+            connection.connect()
+        return connection
+
+    # ------------------------------------------------------------------ #
+    # Packet distribution
+    # ------------------------------------------------------------------ #
+    def add_sniffer(self, sniffer: Callable[[Packet], None]) -> None:
+        """Register a callable that receives every emitted packet."""
+        self._sniffers.append(sniffer)
+
+    def remove_sniffer(self, sniffer: Callable[[Packet], None]) -> None:
+        """Unregister a previously added sniffer (no error if absent)."""
+        try:
+            self._sniffers.remove(sniffer)
+        except ValueError:
+            pass
+
+    def emit(self, packet: Packet) -> None:
+        """Deliver ``packet`` to every registered sniffer."""
+        for sniffer in self._sniffers:
+            sniffer(packet)

@@ -1,0 +1,349 @@
+"""TCP connection model.
+
+The model captures the first-order latency and byte costs that drive the
+paper's results:
+
+* three-way handshake (one RTT, plus SYN/SYN-ACK/ACK packets in the trace),
+* optional TLS handshake (extra RTTs, certificate bytes, CPU delay),
+* slow-start ramp-up: early rounds deliver less than the bandwidth-delay
+  product, so short transfers pay extra round trips,
+* serialization at the bottleneck rate,
+* TCP/IP header overhead of 40 bytes per segment plus ACK traffic,
+* request/response exchanges with a server processing delay.
+
+The connection emits :class:`~repro.netsim.packet.Packet` records through the
+owning :class:`~repro.netsim.simulator.NetworkSimulator`, which forwards them
+to sniffers.  All analysis downstream works on those packets only.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConnectionStateError
+from repro.netsim.endpoint import Endpoint
+from repro.netsim.link import NetworkPath
+from repro.netsim.packet import MSS, TCP_IP_HEADER_BYTES, Packet, PacketDirection, TCPFlags
+from repro.netsim.tls import TLSParameters
+
+__all__ = ["TCPState", "TransferStats", "TCPConnection", "INITIAL_CWND_BYTES"]
+
+#: Initial congestion window (10 segments, per RFC 6928).
+INITIAL_CWND_BYTES = 10 * MSS
+
+#: Cap on the number of data-packet records emitted per transfer; larger
+#: transfers coalesce several segments into one record while keeping byte
+#: accounting exact.
+MAX_DATA_RECORDS_PER_TRANSFER = 2048
+
+
+class TCPState(str, enum.Enum):
+    """Lifecycle states of a simulated connection."""
+
+    CLOSED = "closed"
+    ESTABLISHED = "established"
+    FINISHED = "finished"
+
+
+@dataclass
+class TransferStats:
+    """Summary of one data transfer or request/response exchange."""
+
+    start: float
+    end: float
+    app_bytes_up: int = 0
+    app_bytes_down: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time of the transfer."""
+        return self.end - self.start
+
+
+class TCPConnection:
+    """A single TCP (optionally TLS) connection between the client and a server."""
+
+    def __init__(
+        self,
+        simulator: "NetworkSimulator",
+        local: Endpoint,
+        remote: Endpoint,
+        path: NetworkPath,
+        connection_id: int,
+        local_port: int,
+        tls: Optional[TLSParameters] = None,
+    ) -> None:
+        self._sim = simulator
+        self.local = local
+        self.remote = remote
+        self.path = path
+        self.connection_id = connection_id
+        self.local_port = local_port
+        self.tls = tls
+        self.state = TCPState.CLOSED
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.opened_at: Optional[float] = None
+        self.secured = False
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+    def connect(self) -> TransferStats:
+        """Perform the three-way handshake (and TLS handshake if configured)."""
+        if self.state is not TCPState.CLOSED:
+            raise ConnectionStateError("connect() called on a non-closed connection")
+        start = self._now
+        rtt = self.path.rtt
+        self._emit(start, PacketDirection.OUT, flags=TCPFlags.SYN, note="syn")
+        self._emit(start + rtt, PacketDirection.IN, flags=TCPFlags.SYN | TCPFlags.ACK, note="syn-ack")
+        self._emit(start + rtt, PacketDirection.OUT, flags=TCPFlags.ACK, note="handshake-ack")
+        self._advance(rtt)
+        self.state = TCPState.ESTABLISHED
+        self.opened_at = self._now
+        if self.tls is not None:
+            self._tls_handshake()
+        return TransferStats(start=start, end=self._now)
+
+    def _tls_handshake(self) -> None:
+        """Model the TLS handshake flights on top of the established connection."""
+        params = self.tls
+        assert params is not None
+        rtt = self.path.rtt
+        start = self._now
+        # Flight 1: ClientHello out, ServerHello/Certificate in.
+        self._emit_data(start, start + rtt / 2, params.client_hello_bytes, PacketDirection.OUT, note="tls-client-hello")
+        self._emit_data(start + rtt / 2, start + rtt, params.server_hello_bytes, PacketDirection.IN, note="tls-server-hello")
+        elapsed = rtt
+        if params.handshake_rtts >= 2:
+            # Flight 2: ClientKeyExchange/Finished out, server Finished in.
+            t1 = start + rtt
+            self._emit_data(t1, t1 + rtt / 2, params.client_finished_bytes, PacketDirection.OUT, note="tls-client-finished")
+            self._emit_data(t1 + rtt / 2, t1 + rtt, params.server_finished_bytes, PacketDirection.IN, note="tls-server-finished")
+            elapsed += rtt
+        else:
+            self._emit_data(start + rtt, start + rtt, params.client_finished_bytes, PacketDirection.OUT, note="tls-client-finished")
+        elapsed += params.compute_delay
+        self._advance(elapsed)
+        self.secured = True
+
+    def close(self) -> None:
+        """Close the connection.
+
+        Teardown is asynchronous from the application's point of view: FIN
+        packets are emitted but the simulated clock does not wait for them,
+        matching the paper's choice to ignore TCP tear-down delays (§5.2).
+        """
+        if self.state is not TCPState.ESTABLISHED:
+            return
+        now = self._now
+        rtt = self.path.rtt
+        self._emit(now, PacketDirection.OUT, flags=TCPFlags.FIN | TCPFlags.ACK, note="fin")
+        self._emit(now + rtt, PacketDirection.IN, flags=TCPFlags.FIN | TCPFlags.ACK, note="fin-ack")
+        self._emit(now + rtt, PacketDirection.OUT, flags=TCPFlags.ACK, note="fin-ack-ack")
+        self.state = TCPState.FINISHED
+
+    @property
+    def is_open(self) -> bool:
+        """True while the connection can carry application data."""
+        return self.state is TCPState.ESTABLISHED
+
+    # ------------------------------------------------------------------ #
+    # Data transfer
+    # ------------------------------------------------------------------ #
+    def send(self, nbytes: int, *, upstream: bool = True, note: str = "data") -> TransferStats:
+        """Send ``nbytes`` of application data in one direction.
+
+        The caller's clock is advanced to the time the last payload byte is
+        put on the wire (upstream) or received (downstream).
+        """
+        self._require_open()
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self._now
+        if nbytes == 0:
+            return TransferStats(start=start, end=start)
+        wire_payload = self.tls.record_bytes(nbytes) if self.tls is not None else nbytes
+        duration = self.transfer_duration(wire_payload, upstream=upstream)
+        direction = PacketDirection.OUT if upstream else PacketDirection.IN
+        self._emit_data(start, start + duration, wire_payload, direction, note=note)
+        self._emit_acks(start, start + duration, wire_payload, direction)
+        self._advance(duration)
+        if upstream:
+            self.bytes_sent += nbytes
+            return TransferStats(start=start, end=self._now, app_bytes_up=nbytes)
+        self.bytes_received += nbytes
+        return TransferStats(start=start, end=self._now, app_bytes_down=nbytes)
+
+    def request(
+        self,
+        up_bytes: int,
+        down_bytes: int,
+        *,
+        note: str = "request",
+        server_processing: Optional[float] = None,
+    ) -> TransferStats:
+        """Model an application request/response exchange.
+
+        The request of ``up_bytes`` is sent upstream; after it is fully
+        received by the server (half an RTT later), the server spends its
+        processing delay and the response of ``down_bytes`` flows back.
+        """
+        self._require_open()
+        start = self._now
+        if up_bytes > 0:
+            self.send(up_bytes, upstream=True, note=f"{note}")
+        processing = self.path.server_processing if server_processing is None else server_processing
+        # Wait for the request to reach the server, be processed, and the
+        # first response byte to travel back.
+        self._advance(self.path.rtt + processing)
+        if down_bytes > 0:
+            self.send(down_bytes, upstream=False, note=f"{note}-response")
+        return TransferStats(
+            start=start,
+            end=self._now,
+            app_bytes_up=max(up_bytes, 0),
+            app_bytes_down=max(down_bytes, 0),
+        )
+
+    def transfer_duration(self, wire_payload: int, *, upstream: bool = True) -> float:
+        """Return the time needed to transfer ``wire_payload`` bytes.
+
+        The duration is serialization time at the bottleneck plus the
+        slow-start penalty: while the congestion window is below the
+        bandwidth-delay product each round trip delivers only one window.
+        """
+        if wire_payload <= 0:
+            return 0.0
+        rate = self.path.rate(upstream)
+        serialization = wire_payload * 8.0 / rate
+        return serialization + self._slow_start_penalty(wire_payload, rate)
+
+    def _slow_start_penalty(self, nbytes: int, rate: float) -> float:
+        """Extra latency caused by slow-start ramp-up for ``nbytes`` at ``rate``.
+
+        While the congestion window is below the bandwidth-delay product the
+        sender idles part of each round trip waiting for ACKs before it can
+        grow the window.  The final round pays no such penalty: once its last
+        byte is on the wire the transfer is, from the capture's point of
+        view, complete.
+        """
+        rtt = self.path.rtt
+        if rtt <= 0 or nbytes <= 0:
+            return 0.0
+        bdp = rate * rtt / 8.0
+        cwnd = float(INITIAL_CWND_BYTES)
+        delivered = 0.0
+        penalty = 0.0
+        while True:
+            burst = min(cwnd, nbytes - delivered)
+            delivered += burst
+            if delivered >= nbytes or cwnd >= bdp:
+                break
+            penalty += max(0.0, rtt - burst * 8.0 / rate)
+            cwnd *= 2.0
+        return penalty
+
+    # ------------------------------------------------------------------ #
+    # Packet emission helpers
+    # ------------------------------------------------------------------ #
+    def _emit(self, timestamp: float, direction: PacketDirection, *, flags: TCPFlags, payload: int = 0, note: str = "") -> None:
+        src, dst, sport, dport = self._addresses(direction)
+        self._sim.emit(
+            Packet(
+                timestamp=timestamp,
+                src=src,
+                dst=dst,
+                src_port=sport,
+                dst_port=dport,
+                direction=direction,
+                flags=flags,
+                payload_len=payload,
+                headers_len=TCP_IP_HEADER_BYTES,
+                connection_id=self.connection_id,
+                hostname=self.remote.hostname,
+                note=note,
+            )
+        )
+
+    def _emit_data(self, start: float, end: float, nbytes: int, direction: PacketDirection, *, note: str) -> None:
+        """Emit payload packets for ``nbytes`` spread between ``start`` and ``end``."""
+        if nbytes <= 0:
+            return
+        segments = math.ceil(nbytes / MSS)
+        records = min(segments, MAX_DATA_RECORDS_PER_TRANSFER)
+        segs_per_record = segments / records
+        span = max(end - start, 0.0)
+        remaining = nbytes
+        for index in range(records):
+            seg_count = int(round((index + 1) * segs_per_record)) - int(round(index * segs_per_record))
+            seg_count = max(seg_count, 1)
+            payload = min(remaining, seg_count * MSS)
+            if payload <= 0:
+                break
+            remaining -= payload
+            timestamp = start + span * (index + 1) / records
+            src, dst, sport, dport = self._addresses(direction)
+            self._sim.emit(
+                Packet(
+                    timestamp=timestamp,
+                    src=src,
+                    dst=dst,
+                    src_port=sport,
+                    dst_port=dport,
+                    direction=direction,
+                    flags=TCPFlags.ACK | TCPFlags.PSH,
+                    payload_len=payload,
+                    headers_len=TCP_IP_HEADER_BYTES * seg_count,
+                    connection_id=self.connection_id,
+                    hostname=self.remote.hostname,
+                    note=note,
+                )
+            )
+
+    def _emit_acks(self, start: float, end: float, nbytes: int, data_direction: PacketDirection) -> None:
+        """Emit an aggregated record for the pure ACKs flowing against the data."""
+        segments = math.ceil(nbytes / MSS)
+        acks = max(1, segments // 2)
+        ack_direction = PacketDirection.IN if data_direction is PacketDirection.OUT else PacketDirection.OUT
+        src, dst, sport, dport = self._addresses(ack_direction)
+        self._sim.emit(
+            Packet(
+                timestamp=end + self.path.rtt / 2,
+                src=src,
+                dst=dst,
+                src_port=sport,
+                dst_port=dport,
+                direction=ack_direction,
+                flags=TCPFlags.ACK,
+                payload_len=0,
+                headers_len=TCP_IP_HEADER_BYTES * acks,
+                connection_id=self.connection_id,
+                hostname=self.remote.hostname,
+                note="ack-aggregate",
+            )
+        )
+
+    def _addresses(self, direction: PacketDirection) -> tuple:
+        if direction is PacketDirection.OUT:
+            return self.local.ip, self.remote.ip, self.local_port, self.remote.port
+        return self.remote.ip, self.local.ip, self.remote.port, self.local_port
+
+    # ------------------------------------------------------------------ #
+    # Internal plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _now(self) -> float:
+        return self._sim.now
+
+    def _advance(self, duration: float) -> None:
+        self._sim.clock.advance(duration)
+
+    def _require_open(self) -> None:
+        if self.state is not TCPState.ESTABLISHED:
+            raise ConnectionStateError(
+                f"connection {self.connection_id} to {self.remote.hostname} is not established"
+            )

@@ -1,0 +1,77 @@
+"""TLS handshake and record-layer overhead parameters.
+
+The simulator does not implement cryptography; it models the *traffic* a TLS
+session generates, which is what the paper's capture-based methodology
+observes: a handshake worth a couple of round trips and a few kilobytes of
+certificates, plus a small per-record framing overhead on application data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TLSParameters"]
+
+
+@dataclass(frozen=True)
+class TLSParameters:
+    """Byte and latency costs of a TLS session.
+
+    The defaults correspond to a full TLS 1.0/1.2 handshake with a typical
+    ~3.5 kB certificate chain, which matches the per-connection overhead the
+    paper observes for services that open one SSL connection per file
+    (§4.2, §5.3).
+    """
+
+    #: Number of round trips consumed by the handshake (2 for a full
+    #: handshake, 1 for an abbreviated/resumed one).
+    handshake_rtts: int = 2
+    #: ClientHello size in bytes.
+    client_hello_bytes: int = 300
+    #: ServerHello + certificate chain + ServerHelloDone size in bytes.
+    server_hello_bytes: int = 3800
+    #: ClientKeyExchange + ChangeCipherSpec + Finished size in bytes.
+    client_finished_bytes: int = 350
+    #: Server ChangeCipherSpec + Finished (and NewSessionTicket) size in bytes.
+    server_finished_bytes: int = 250
+    #: CPU/processing delay charged once per handshake (client + server side).
+    compute_delay: float = 0.012
+    #: Framing overhead added to every TLS record.
+    record_overhead_bytes: int = 29
+    #: Maximum plaintext bytes per TLS record.
+    max_record_bytes: int = 16384
+
+    def resumed(self) -> "TLSParameters":
+        """Return parameters for an abbreviated (session-resumption) handshake."""
+        return TLSParameters(
+            handshake_rtts=1,
+            client_hello_bytes=250,
+            server_hello_bytes=200,
+            client_finished_bytes=100,
+            server_finished_bytes=100,
+            compute_delay=0.004,
+            record_overhead_bytes=self.record_overhead_bytes,
+            max_record_bytes=self.max_record_bytes,
+        )
+
+    def record_bytes(self, payload_len: int) -> int:
+        """Bytes on the wire for ``payload_len`` bytes of application data."""
+        if payload_len <= 0:
+            return 0
+        records = -(-payload_len // self.max_record_bytes)  # ceil division
+        return payload_len + records * self.record_overhead_bytes
+
+    @property
+    def handshake_client_bytes(self) -> int:
+        """Total handshake bytes sent by the client."""
+        return self.client_hello_bytes + self.client_finished_bytes
+
+    @property
+    def handshake_server_bytes(self) -> int:
+        """Total handshake bytes sent by the server."""
+        return self.server_hello_bytes + self.server_finished_bytes
+
+    @property
+    def handshake_total_bytes(self) -> int:
+        """Total handshake bytes in both directions."""
+        return self.handshake_client_bytes + self.handshake_server_bytes

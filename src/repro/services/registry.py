@@ -1,0 +1,79 @@
+"""Service registry: create clients and profiles by name.
+
+The methodology is explicitly designed to be applied to *any* personal cloud
+storage service (§2.4); the registry is the extension point: registering a
+new (profile factory, client class) pair makes every capability probe,
+performance benchmark and report include the new service automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import UnknownServiceError
+from repro.netsim.simulator import NetworkSimulator
+from repro.services.backend import StorageBackend
+from repro.services.base import CloudStorageClient
+from repro.services.clouddrive import CloudDriveClient, clouddrive_profile
+from repro.services.dropbox import DropboxClient, dropbox_profile
+from repro.services.googledrive import GoogleDriveClient, googledrive_profile
+from repro.services.profile import ServiceProfile
+from repro.services.skydrive import SkyDriveClient, skydrive_profile
+from repro.services.wuala import WualaClient, wuala_profile
+
+__all__ = ["SERVICE_NAMES", "register_service", "get_profile", "create_client", "registered_services"]
+
+ProfileFactory = Callable[[], ServiceProfile]
+
+_REGISTRY: Dict[str, Tuple[ProfileFactory, Type[CloudStorageClient]]] = {
+    "dropbox": (dropbox_profile, DropboxClient),
+    "skydrive": (skydrive_profile, SkyDriveClient),
+    "wuala": (wuala_profile, WualaClient),
+    "googledrive": (googledrive_profile, GoogleDriveClient),
+    "clouddrive": (clouddrive_profile, CloudDriveClient),
+}
+
+#: The five services studied in the paper, in the paper's presentation order.
+SERVICE_NAMES: List[str] = ["dropbox", "skydrive", "wuala", "clouddrive", "googledrive"]
+
+
+def register_service(name: str, profile_factory: ProfileFactory, client_class: Type[CloudStorageClient]) -> None:
+    """Add (or replace) a service in the registry."""
+    _REGISTRY[name.lower()] = (profile_factory, client_class)
+    if name.lower() not in SERVICE_NAMES:
+        SERVICE_NAMES.append(name.lower())
+
+
+def registered_services() -> List[str]:
+    """Names of every registered service."""
+    return list(_REGISTRY)
+
+
+def get_profile(name: str) -> ServiceProfile:
+    """Build a fresh profile for the named service."""
+    try:
+        factory, _ = _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownServiceError(f"unknown service {name!r}; registered: {sorted(_REGISTRY)}") from None
+    return factory()
+
+
+def create_client(
+    name: str,
+    simulator: NetworkSimulator,
+    backend: Optional[StorageBackend] = None,
+) -> CloudStorageClient:
+    """Instantiate the named service's client bound to ``simulator``.
+
+    A dedicated :class:`StorageBackend` is created when none is supplied, so
+    independent experiments never share server-side state by accident.
+    """
+    try:
+        factory, client_class = _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownServiceError(f"unknown service {name!r}; registered: {sorted(_REGISTRY)}") from None
+    if backend is None:
+        backend = StorageBackend(name.lower())
+    if client_class in (DropboxClient, SkyDriveClient, WualaClient, GoogleDriveClient, CloudDriveClient):
+        return client_class(simulator, backend)
+    return client_class(simulator, factory(), backend)

@@ -1,0 +1,90 @@
+"""Bundling: transmitting many small files/chunks as one pipelined object.
+
+§4.2: only Dropbox bundles small files together, which lets it win the
+100 × 10 kB benchmark by a factor of ~4 (Fig. 6b).  A bundle groups payloads
+so they travel back-to-back on a single connection with one commit exchange
+per bundle instead of one per file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BundleEntry", "Bundle", "BundleBuilder"]
+
+#: Per-entry framing overhead inside a bundle (entry header: name hash,
+#: offsets, lengths).
+ENTRY_OVERHEAD_BYTES = 64
+#: Fixed per-bundle framing overhead.
+BUNDLE_OVERHEAD_BYTES = 256
+
+
+@dataclass(frozen=True)
+class BundleEntry:
+    """One payload (a file or a chunk) packed into a bundle."""
+
+    name: str
+    payload_size: int
+    digest: str = ""
+
+
+@dataclass
+class Bundle:
+    """A group of payloads transmitted as a single object."""
+
+    entries: List[BundleEntry] = field(default_factory=list)
+
+    @property
+    def payload_size(self) -> int:
+        """Sum of the entry payloads, without framing."""
+        return sum(entry.payload_size for entry in self.entries)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes the bundle occupies on the wire, framing included."""
+        if not self.entries:
+            return 0
+        return self.payload_size + BUNDLE_OVERHEAD_BYTES + ENTRY_OVERHEAD_BYTES * len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class BundleBuilder:
+    """Packs entries into bundles bounded by a maximum payload size.
+
+    ``max_bundle_bytes`` limits how much data a single bundle may carry; a
+    very large entry still gets a bundle of its own (it is never split here —
+    splitting is the chunker's job, which runs before bundling).
+    """
+
+    def __init__(self, max_bundle_bytes: int = 8 * 1000 * 1000, max_entries: int = 10_000) -> None:
+        if max_bundle_bytes <= 0:
+            raise ConfigurationError("max bundle size must be positive")
+        if max_entries <= 0:
+            raise ConfigurationError("max entries per bundle must be positive")
+        self.max_bundle_bytes = max_bundle_bytes
+        self.max_entries = max_entries
+
+    def pack(self, entries: Iterable[BundleEntry]) -> List[Bundle]:
+        """Group ``entries`` into bundles, preserving order."""
+        bundles: List[Bundle] = []
+        current = Bundle()
+        for entry in entries:
+            over_size = current.entries and current.payload_size + entry.payload_size > self.max_bundle_bytes
+            over_count = len(current.entries) >= self.max_entries
+            if over_size or over_count:
+                bundles.append(current)
+                current = Bundle()
+            current.entries.append(entry)
+        if current.entries:
+            bundles.append(current)
+        return bundles
+
+    def pack_sizes(self, sizes: Sequence[int], prefix: str = "entry") -> List[Bundle]:
+        """Convenience: pack anonymous payloads given only their sizes."""
+        entries = [BundleEntry(name=f"{prefix}_{index}", payload_size=size) for index, size in enumerate(sizes)]
+        return self.pack(entries)

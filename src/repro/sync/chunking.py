@@ -1,0 +1,157 @@
+"""Chunking strategies: fixed-size, content-defined (variable) and none.
+
+§4.1 of the paper finds that Dropbox splits files into 4 MB chunks, Google
+Drive into 8 MB chunks, SkyDrive and Wuala use variable chunk sizes, and
+Cloud Drive does not chunk at all.  Chunking interacts with deduplication
+and delta encoding (Fig. 4), so the implementations here produce stable,
+content-addressed chunks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Protocol, Union
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+__all__ = ["Chunk", "Chunker", "FixedChunker", "VariableChunker", "NoChunker", "make_chunker"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous piece of a file, identified by its content digest."""
+
+    offset: int
+    length: int
+    digest: str
+
+    @classmethod
+    def from_bytes(cls, offset: int, data: Union[bytes, memoryview]) -> "Chunk":
+        """Build a chunk record for ``data`` located at ``offset``."""
+        return cls(offset=offset, length=len(data), digest=hashlib.sha256(data).hexdigest())
+
+
+class Chunker(Protocol):
+    """Interface implemented by every chunking strategy."""
+
+    def chunk(self, data: bytes) -> List[Chunk]:
+        """Split ``data`` into chunks covering it exactly, in order."""
+        ...
+
+
+class NoChunker:
+    """The whole file is a single object (Amazon Cloud Drive's behaviour)."""
+
+    def chunk(self, data: bytes) -> List[Chunk]:
+        """Return one chunk spanning all of ``data`` (empty input gives no chunks)."""
+        if not data:
+            return []
+        return [Chunk.from_bytes(0, data)]
+
+
+class FixedChunker:
+    """Split content into fixed-size chunks (Dropbox: 4 MB, Google Drive: 8 MB)."""
+
+    def __init__(self, chunk_size: int) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk size must be positive")
+        self.chunk_size = chunk_size
+
+    def chunk(self, data: bytes) -> List[Chunk]:
+        """Split ``data`` into consecutive chunks of at most ``chunk_size`` bytes."""
+        view = memoryview(data)
+        chunks = []
+        for offset in range(0, len(data), self.chunk_size):
+            piece = view[offset:offset + self.chunk_size]
+            chunks.append(Chunk.from_bytes(offset, piece))
+        return chunks
+
+
+class VariableChunker:
+    """Content-defined chunking at page granularity (SkyDrive/Wuala behaviour).
+
+    The input is scanned in fixed pages (default 4 KiB); a chunk boundary is
+    declared after any page whose content hash matches a mask, subject to
+    minimum and maximum chunk sizes.  Boundaries therefore depend on the
+    *content*, not on absolute offsets, so identical regions of data tend to
+    produce identical chunks, which is what makes deduplication effective
+    for these services.  Working at page granularity keeps the scan fast
+    (one SHA-256 per page, computed in C) while preserving the property the
+    paper's probes observe: chunk sizes vary from file to file.
+    """
+
+    def __init__(
+        self,
+        min_size: int = 1 * MB,
+        average_size: int = 3 * MB,
+        max_size: int = 6 * MB,
+        page_size: int = 4096,
+    ) -> None:
+        if not (0 < min_size <= average_size <= max_size):
+            raise ConfigurationError("chunk sizes must satisfy 0 < min <= average <= max")
+        if page_size <= 0:
+            raise ConfigurationError("page size must be positive")
+        self.min_size = min_size
+        self.average_size = average_size
+        self.max_size = max_size
+        self.page_size = page_size
+        # A boundary fires with probability 1 / 2**bits per page, so the
+        # expected distance between boundaries is page_size * 2**bits; pick
+        # bits so that distance approximates the requested average size.
+        pages_per_chunk = max(1, average_size // page_size)
+        bits = max(1, pages_per_chunk.bit_length() - 1)
+        self._mask = (1 << bits) - 1
+
+    def chunk(self, data: bytes) -> List[Chunk]:
+        """Split ``data`` at content-defined page boundaries."""
+        if not data:
+            return []
+        view = memoryview(data)
+        chunks: List[Chunk] = []
+        start = 0
+        cursor = 0
+        length = len(data)
+        while cursor < length:
+            page_end = min(cursor + self.page_size, length)
+            page = view[cursor:page_end]
+            cursor = page_end
+            chunk_len = cursor - start
+            if chunk_len < self.min_size and cursor < length:
+                continue
+            if cursor >= length or chunk_len >= self.max_size or self._is_boundary(page):
+                chunks.append(Chunk.from_bytes(start, view[start:cursor]))
+                start = cursor
+        if start < length:
+            chunks.append(Chunk.from_bytes(start, view[start:length]))
+        return chunks
+
+    def _is_boundary(self, page: memoryview) -> bool:
+        """Content-defined boundary test for one page."""
+        digest = hashlib.sha256(page).digest()
+        value = int.from_bytes(digest[:8], "big")
+        return (value & self._mask) == self._mask
+
+
+def make_chunker(strategy: str, chunk_size: int | None = None) -> Chunker:
+    """Factory used by service profiles.
+
+    ``strategy`` is one of ``"none"``, ``"fixed"`` or ``"variable"``;
+    ``chunk_size`` is required for the fixed strategy and acts as the average
+    size for the variable one.
+    """
+    if strategy == "none":
+        return NoChunker()
+    if strategy == "fixed":
+        if chunk_size is None:
+            raise ConfigurationError("fixed chunking requires a chunk size")
+        return FixedChunker(chunk_size)
+    if strategy == "variable":
+        average = chunk_size or 3 * MB
+        return VariableChunker(
+            min_size=max(average // 3, 64 * 1024),
+            average_size=average,
+            max_size=average * 2,
+        )
+    raise ConfigurationError(f"unknown chunking strategy: {strategy!r}")

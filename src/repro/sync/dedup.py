@@ -1,0 +1,81 @@
+"""Client-side deduplication index.
+
+§4.3: Dropbox and Wuala avoid re-uploading content whose hash the server
+already knows, even when the local copy was deleted and later restored.  The
+index is keyed purely by content digest, so renamed copies and restored
+files deduplicate as the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.sync.chunking import Chunk
+
+__all__ = ["DedupIndex"]
+
+
+class DedupIndex:
+    """Tracks which chunk digests are already stored server-side.
+
+    The index models the *server's* knowledge as seen from the client: once
+    a digest has been committed it stays known forever, regardless of what
+    happens to local files (deletions do not remove server-side blocks, which
+    is why deduplication keeps working after delete-and-restore in §4.3).
+    """
+
+    def __init__(self) -> None:
+        self._known: Set[str] = set()
+        self._reference_counts: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._known
+
+    def is_known(self, digest: str) -> bool:
+        """True if content with this digest was uploaded before."""
+        return digest in self._known
+
+    def add(self, digest: str) -> None:
+        """Record that content with ``digest`` is now stored server-side."""
+        self._known.add(digest)
+        self._reference_counts[digest] = self._reference_counts.get(digest, 0) + 1
+
+    def add_chunks(self, chunks: Iterable[Chunk]) -> None:
+        """Record a whole list of chunks as stored."""
+        for chunk in chunks:
+            self.add(chunk.digest)
+
+    def release(self, digest: str) -> None:
+        """Drop one reference to ``digest``.
+
+        The digest stays known even at zero references: storage servers keep
+        blocks around, which is exactly what lets Dropbox and Wuala skip the
+        upload when a deleted file is restored (§4.3).
+        """
+        if digest in self._reference_counts and self._reference_counts[digest] > 0:
+            self._reference_counts[digest] -= 1
+
+    def partition(self, chunks: Iterable[Chunk]) -> Tuple[List[Chunk], List[Chunk]]:
+        """Split ``chunks`` into ``(missing, duplicate)`` lists.
+
+        ``missing`` chunks must be uploaded; ``duplicate`` chunks only need a
+        metadata reference.  Repeated digests within the same batch are also
+        deduplicated: only their first occurrence is reported missing.
+        """
+        missing: List[Chunk] = []
+        duplicates: List[Chunk] = []
+        seen_in_batch: Set[str] = set()
+        for chunk in chunks:
+            if chunk.digest in self._known or chunk.digest in seen_in_batch:
+                duplicates.append(chunk)
+            else:
+                missing.append(chunk)
+                seen_in_batch.add(chunk.digest)
+        return missing, duplicates
+
+    def reference_count(self, digest: str) -> int:
+        """Number of live references to ``digest`` (0 if unknown or released)."""
+        return self._reference_counts.get(digest, 0)

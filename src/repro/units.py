@@ -1,0 +1,115 @@
+"""Unit helpers and constants shared across the library.
+
+The paper reports sizes in kB/MB (decimal multiples, as usual in network
+measurement papers) and rates in kb/s / Mb/s.  To avoid unit confusion the
+rest of the code base always stores:
+
+* sizes in **bytes** (``int``),
+* times in **seconds** (``float``),
+* rates in **bits per second** (``float``).
+
+The helpers below convert the human-friendly spellings used in the paper to
+those canonical units and back again for reporting.
+"""
+
+from __future__ import annotations
+
+#: Bytes in a kilobyte (decimal, as used in the paper: "100 kB", "10 kB").
+KB = 1000
+#: Bytes in a megabyte (decimal, as used in the paper: "1 MB", "4 MB chunks").
+MB = 1000 * 1000
+#: Bytes in a gigabyte.
+GB = 1000 * 1000 * 1000
+
+#: Binary multiples, used internally where chunk sizes are powers of two.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Bits per byte.
+BITS_PER_BYTE = 8
+
+
+def kb(value: float) -> int:
+    """Return ``value`` kilobytes expressed in bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Return ``value`` megabytes expressed in bytes."""
+    return int(value * MB)
+
+
+def kbps(value: float) -> float:
+    """Return ``value`` kilobits per second expressed in bits per second."""
+    return value * 1000.0
+
+
+def mbps(value: float) -> float:
+    """Return ``value`` megabits per second expressed in bits per second."""
+    return value * 1000.0 * 1000.0
+
+
+def bytes_to_kb(value: float) -> float:
+    """Convert bytes to kilobytes (decimal)."""
+    return value / KB
+
+
+def bytes_to_mb(value: float) -> float:
+    """Convert bytes to megabytes (decimal)."""
+    return value / MB
+
+
+def bps_to_kbps(value: float) -> float:
+    """Convert bits per second to kilobits per second."""
+    return value / 1000.0
+
+
+def bps_to_mbps(value: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return value / 1_000_000.0
+
+
+def transfer_rate_bps(nbytes: float, seconds: float) -> float:
+    """Return the average rate in bits/s of ``nbytes`` sent in ``seconds``.
+
+    Returns ``0.0`` for a non-positive duration instead of raising, because
+    benchmark analysis routinely encounters empty traces.
+    """
+    if seconds <= 0:
+        return 0.0
+    return nbytes * BITS_PER_BYTE / seconds
+
+
+def minutes(value: float) -> float:
+    """Return ``value`` minutes expressed in seconds."""
+    return value * 60.0
+
+
+def format_bytes(value: float) -> str:
+    """Human readable byte count using the paper's decimal units."""
+    if value >= GB:
+        return f"{value / GB:.2f} GB"
+    if value >= MB:
+        return f"{value / MB:.2f} MB"
+    if value >= KB:
+        return f"{value / KB:.1f} kB"
+    return f"{int(value)} B"
+
+
+def format_rate(bps: float) -> str:
+    """Human readable rate (b/s, kb/s or Mb/s) as printed in the paper."""
+    if bps >= 1_000_000:
+        return f"{bps / 1_000_000:.2f} Mb/s"
+    if bps >= 1000:
+        return f"{bps / 1000:.1f} kb/s"
+    return f"{bps:.0f} b/s"
+
+
+def format_duration(seconds: float) -> str:
+    """Human readable duration."""
+    if seconds >= 60:
+        mins = int(seconds // 60)
+        return f"{mins} min {seconds - 60 * mins:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.0f} ms"

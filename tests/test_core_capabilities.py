@@ -1,0 +1,103 @@
+"""Tests for the traffic-based capability probes (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capabilities import CapabilityMatrix, CapabilityProber
+from repro.services.registry import get_profile
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def prober():
+    return CapabilityProber()
+
+
+class TestChunkingProbe:
+    def test_dropbox_fixed_4mb(self, prober):
+        result = prober.probe_chunking("dropbox", sizes=(12 * MB, 18 * MB))
+        assert result.strategy == "fixed"
+        assert result.as_cell() == "4 MB"
+
+    def test_googledrive_fixed_8mb(self, prober):
+        result = prober.probe_chunking("googledrive", sizes=(12 * MB, 18 * MB))
+        assert result.strategy == "fixed"
+        assert result.as_cell() == "8 MB"
+
+    def test_clouddrive_no_chunking(self, prober):
+        result = prober.probe_chunking("clouddrive", sizes=(12 * MB, 18 * MB))
+        assert result.strategy == "none"
+        assert result.as_cell() == "no"
+
+    def test_skydrive_variable(self, prober):
+        result = prober.probe_chunking("skydrive", sizes=(12 * MB, 18 * MB))
+        assert result.strategy == "variable"
+        assert result.as_cell() == "var."
+
+
+class TestBundlingProbe:
+    def test_only_dropbox_bundles(self, prober):
+        assert prober.probe_bundling("dropbox").bundling is True
+        assert prober.probe_bundling("googledrive").bundling is False
+        assert prober.probe_bundling("skydrive").bundling is False
+
+    def test_probe_records_per_count_measurements(self, prober):
+        result = prober.probe_bundling("clouddrive", file_counts=(1, 10))
+        assert set(result.per_file_count) == {1, 10}
+        assert result.per_file_count[10]["storage_connections"] == 10
+
+
+class TestDeduplicationProbe:
+    def test_dropbox_and_wuala_deduplicate(self, prober):
+        for service in ("dropbox", "wuala"):
+            result = prober.probe_deduplication(service, file_size=300_000)
+            assert result.deduplication is True
+            assert result.survives_delete is True
+            assert result.step_upload_bytes["original"] > 250_000
+
+    def test_skydrive_does_not_deduplicate(self, prober):
+        result = prober.probe_deduplication("skydrive", file_size=300_000)
+        assert result.deduplication is False
+        assert result.step_upload_bytes["replica_other_folder"] > 250_000
+
+
+class TestDeltaProbe:
+    def test_only_dropbox_implements_delta(self, prober):
+        assert prober.probe_delta_encoding("dropbox", file_size=1 * MB).delta_encoding is True
+        assert prober.probe_delta_encoding("googledrive", file_size=1 * MB).delta_encoding is False
+        assert prober.probe_delta_encoding("wuala", file_size=1 * MB).delta_encoding is False
+
+
+class TestCompressionProbe:
+    def test_policies_detected(self, prober):
+        assert prober.probe_compression("dropbox", file_size=500_000).policy == "always"
+        assert prober.probe_compression("googledrive", file_size=500_000).policy == "smart"
+        assert prober.probe_compression("clouddrive", file_size=500_000).policy == "no"
+
+
+class TestMatrix:
+    def test_matrix_rows_match_ground_truth_profiles(self, prober):
+        # Probing is traffic-based; the detected row must equal what the
+        # profile (ground truth) declares, for a capability-rich and a
+        # capability-poor service.
+        matrix = prober.build_matrix(["dropbox", "clouddrive"])
+        rows = {row["service"]: row for row in matrix.rows()}
+        assert rows["dropbox"]["bundling"] == "yes"
+        assert rows["dropbox"]["compression"] == "always"
+        assert rows["dropbox"]["deduplication"] == "yes"
+        assert rows["dropbox"]["delta_encoding"] == "yes"
+        expected_dropbox = get_profile("dropbox").capability_row()
+        assert rows["dropbox"]["chunking"] == expected_dropbox["chunking"]
+        assert rows["clouddrive"] == {
+            "service": "clouddrive",
+            "chunking": "no",
+            "bundling": "no",
+            "compression": "no",
+            "deduplication": "no",
+            "delta_encoding": "no",
+        }
+
+    def test_services_listed_in_paper_order(self):
+        matrix = CapabilityMatrix()
+        assert matrix.rows() == []

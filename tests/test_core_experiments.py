@@ -1,0 +1,132 @@
+"""Tests for the figure experiments (reduced-size runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments.compression import CompressionExperiment
+from repro.core.experiments.delta import DeltaEncodingExperiment
+from repro.core.experiments.idle import IdleExperiment
+from repro.core.experiments.performance import PerformanceExperiment
+from repro.core.experiments.synseries import SynSeriesExperiment
+from repro.core.workloads import workload_by_name
+from repro.filegen.model import FileKind
+from repro.units import MB, minutes
+
+
+class TestIdleExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return IdleExperiment(["dropbox", "clouddrive"], duration=minutes(8)).run()
+
+    def test_series_are_cumulative(self, result):
+        for series in result.series().values():
+            values = [value for _, value in series]
+            assert values == sorted(values)
+            assert values[-1] > 0
+
+    def test_clouddrive_background_traffic_dominates(self, result):
+        dropbox = result.services["dropbox"]
+        clouddrive = result.services["clouddrive"]
+        assert clouddrive.background_rate_bps > 10 * dropbox.background_rate_bps
+        assert clouddrive.connections_opened > 20
+
+    def test_rows_have_expected_columns(self, result):
+        row = result.rows()[0]
+        assert {"service", "login_kB", "background_bps", "daily_MB"} <= set(row)
+
+
+class TestSynSeriesExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workload = workload_by_name("100x10kB")
+        small = type(workload)(name="20x10kB", file_count=20, file_size=10_000)
+        return SynSeriesExperiment(["clouddrive", "googledrive"], workload=small).run()
+
+    def test_connection_counts_reflect_per_file_connections(self, result):
+        assert result.services["googledrive"].total_connections == 20
+        assert result.services["clouddrive"].total_connections == 80
+
+    def test_series_is_monotonic_in_time_and_count(self, result):
+        series = result.services["clouddrive"].series
+        times = [t for t, _ in series]
+        counts = [c for _, c in series]
+        assert times == sorted(times)
+        assert counts == list(range(1, len(counts) + 1))
+
+
+class TestDeltaExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return DeltaEncodingExperiment(
+            ["dropbox", "googledrive"], append_sizes=[1 * MB], random_sizes=[4 * MB]
+        ).run()
+
+    def test_dropbox_uploads_only_the_change(self, result):
+        series = result.series("append")["dropbox"]
+        assert all(uploaded < 0.3 for _, uploaded in series)
+
+    def test_googledrive_reuploads_whole_file(self, result):
+        series = result.series("append")["googledrive"]
+        assert all(uploaded > 0.9 for _, uploaded in series)
+
+    def test_random_case_includes_chunk_shift_effect(self, result):
+        dropbox_random = dict(result.series("random")["dropbox"])
+        assert 0.1 < dropbox_random[4 * MB] < 1.0
+
+
+class TestCompressionExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return CompressionExperiment(["dropbox", "googledrive", "skydrive"], sizes=[500_000]).run()
+
+    def test_text_compressed_only_by_dropbox_and_google(self, result):
+        text = {service: points[0][1] for service, points in result.series(FileKind.TEXT).items()}
+        assert text["dropbox"] < 0.3
+        assert text["googledrive"] < 0.3
+        assert text["skydrive"] > 0.45
+
+    def test_fake_jpeg_separates_smart_from_always(self, result):
+        fake = {service: points[0][1] for service, points in result.series(FileKind.FAKE_JPEG).items()}
+        assert fake["dropbox"] < 0.3
+        assert fake["googledrive"] > 0.45
+
+    def test_random_bytes_never_compressed(self, result):
+        binary = {service: points[0][1] for service, points in result.series(FileKind.BINARY).items()}
+        assert all(value > 0.45 for value in binary.values())
+
+
+class TestPerformanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PerformanceExperiment(
+            services=["dropbox", "googledrive"],
+            workloads=[workload_by_name("1x100kB"), workload_by_name("100x10kB")],
+            repetitions=2,
+            pause_between_runs=10.0,
+        ).run()
+
+    def test_all_pairs_present_with_repetitions(self, result):
+        assert len(result.runs) == 2 * 2 * 2
+        assert len(result.pairs()) == 4
+        assert all(row["repetitions"] == 2 for row in result.rows())
+
+    def test_figure_series_structure(self, result):
+        completion = result.figure_series("completion")
+        assert set(completion) == {"dropbox", "googledrive"}
+        assert set(completion["dropbox"]) == {"1x100kB", "100x10kB"}
+
+    def test_dropbox_beats_googledrive_on_many_small_files(self, result):
+        completion = result.figure_series("completion")
+        assert completion["dropbox"]["100x10kB"] < completion["googledrive"]["100x10kB"] / 2
+
+    def test_googledrive_beats_dropbox_on_single_small_file(self, result):
+        completion = result.figure_series("completion")
+        assert completion["googledrive"]["1x100kB"] < completion["dropbox"]["1x100kB"]
+
+    def test_repetitions_are_deterministic_given_seed(self):
+        single = PerformanceExperiment(services=["wuala"], workloads=[workload_by_name("1x100kB")], repetitions=1)
+        first = single.run_single("wuala", workload_by_name("1x100kB"), 0)
+        second = single.run_single("wuala", workload_by_name("1x100kB"), 0)
+        assert first.completion_time == pytest.approx(second.completion_time)
+        assert first.total_traffic_bytes == second.total_traffic_bytes

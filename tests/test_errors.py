@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exception_class",
+    [
+        errors.ConfigurationError,
+        errors.SimulationError,
+        errors.ConnectionStateError,
+        errors.ServiceError,
+        errors.UnknownServiceError,
+        errors.StorageBackendError,
+        errors.CaptureError,
+        errors.GeolocationError,
+        errors.WorkloadError,
+        errors.ExperimentError,
+    ],
+)
+def test_all_errors_derive_from_base(exception_class):
+    assert issubclass(exception_class, errors.CloudBenchError)
+
+
+def test_connection_state_error_is_simulation_error():
+    assert issubclass(errors.ConnectionStateError, errors.SimulationError)
+
+
+def test_unknown_service_error_is_service_error():
+    assert issubclass(errors.UnknownServiceError, errors.ServiceError)
+
+
+def test_errors_can_be_caught_as_base():
+    with pytest.raises(errors.CloudBenchError):
+        raise errors.WorkloadError("bad workload")

@@ -1,0 +1,150 @@
+"""Tests for the workload file generators."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.filegen import (
+    FileKind,
+    GeneratedFile,
+    generate_batch,
+    generate_binary,
+    generate_fake_jpeg,
+    generate_file,
+    generate_image,
+    generate_text,
+)
+from repro.filegen.jpeg import JPEG_MAGIC
+from repro.filegen.dictionary import WORDS, random_paragraph, random_sentence, random_words
+from repro.randomness import make_rng
+
+
+# --------------------------------------------------------------------------- #
+# GeneratedFile model
+# --------------------------------------------------------------------------- #
+class TestGeneratedFile:
+    def test_size_and_digest(self):
+        file = GeneratedFile(name="a.bin", content=b"hello world")
+        assert file.size == 11
+        assert len(file.digest) == 64
+        assert file.digest == GeneratedFile(name="b.bin", content=b"hello world").digest
+
+    def test_renamed_keeps_content(self):
+        file = GeneratedFile(name="a.bin", content=b"xyz", kind=FileKind.BINARY)
+        copy = file.renamed("folder/b.bin")
+        assert copy.name == "folder/b.bin"
+        assert copy.content == file.content
+        assert copy.kind is file.kind
+
+    def test_with_content_changes_content_only(self):
+        file = GeneratedFile(name="a.bin", content=b"xyz")
+        new = file.with_content(b"longer content")
+        assert new.name == "a.bin"
+        assert new.size == len(b"longer content")
+
+    def test_extension_per_kind(self):
+        assert FileKind.TEXT.extension == ".txt"
+        assert FileKind.BINARY.extension == ".bin"
+        assert FileKind.FAKE_JPEG.extension == ".jpg"
+
+
+# --------------------------------------------------------------------------- #
+# Dictionary
+# --------------------------------------------------------------------------- #
+class TestDictionary:
+    def test_word_list_is_reasonable(self):
+        assert len(WORDS) > 100
+        assert all(word.islower() for word in WORDS)
+
+    def test_random_words_count(self):
+        rng = make_rng(1, "words")
+        assert len(random_words(rng, 25)) == 25
+
+    def test_random_sentence_shape(self):
+        sentence = random_sentence(make_rng(2, "sentence"))
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+
+    def test_random_paragraph_has_sentences(self):
+        paragraph = random_paragraph(make_rng(3, "paragraph"), sentences=4)
+        assert paragraph.count(".") >= 4
+
+
+# --------------------------------------------------------------------------- #
+# Content generators
+# --------------------------------------------------------------------------- #
+class TestGenerators:
+    @pytest.mark.parametrize("size", [0, 1, 100, 10_000, 123_457])
+    def test_text_exact_size(self, size):
+        assert generate_text(size).size == size
+
+    @pytest.mark.parametrize("size", [0, 1, 100, 10_000, 123_457])
+    def test_binary_exact_size(self, size):
+        assert generate_binary(size).size == size
+
+    @pytest.mark.parametrize("size", [64, 10_000, 100_000])
+    def test_fake_jpeg_exact_size(self, size):
+        assert generate_fake_jpeg(size).size == size
+
+    def test_text_is_highly_compressible(self):
+        file = generate_text(100_000)
+        ratio = len(zlib.compress(file.content)) / file.size
+        assert ratio < 0.5
+
+    def test_binary_is_incompressible(self):
+        file = generate_binary(100_000)
+        ratio = len(zlib.compress(file.content)) / file.size
+        assert ratio > 0.95
+
+    def test_fake_jpeg_has_jpeg_magic_but_compressible_body(self):
+        file = generate_fake_jpeg(50_000)
+        assert file.content.startswith(JPEG_MAGIC[:3])
+        ratio = len(zlib.compress(file.content)) / file.size
+        assert ratio < 0.6
+
+    def test_real_image_has_magic_and_is_incompressible(self):
+        file = generate_image(50_000)
+        assert file.content.startswith(JPEG_MAGIC[:3])
+        ratio = len(zlib.compress(file.content)) / file.size
+        assert ratio > 0.9
+
+    def test_generators_are_deterministic_per_seed(self):
+        assert generate_binary(1000, seed=7).content == generate_binary(1000, seed=7).content
+        assert generate_binary(1000, seed=7).content != generate_binary(1000, seed=8).content
+
+    def test_generate_text_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            generate_text(-1)
+
+
+# --------------------------------------------------------------------------- #
+# Dispatch and batches
+# --------------------------------------------------------------------------- #
+class TestBatches:
+    def test_generate_file_dispatch(self):
+        for kind in FileKind:
+            file = generate_file(kind, 2048)
+            assert file.kind is kind
+            assert file.size == 2048
+
+    def test_generate_file_default_name_uses_extension(self):
+        assert generate_file(FileKind.TEXT, 10).name.endswith(".txt")
+
+    def test_batch_count_sizes_and_unique_names(self):
+        batch = generate_batch(FileKind.BINARY, 10, 1000, prefix="set")
+        assert len(batch) == 10
+        assert all(file.size == 1000 for file in batch)
+        assert len({file.name for file in batch}) == 10
+
+    def test_batch_files_have_distinct_content(self):
+        batch = generate_batch(FileKind.BINARY, 5, 512)
+        assert len({file.digest for file in batch}) == 5
+
+    def test_batch_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            generate_batch(FileKind.BINARY, 0, 100)
+        with pytest.raises(WorkloadError):
+            generate_batch(FileKind.BINARY, 1, -5)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests asserting the paper's headline findings.
+
+Each test reproduces (at reduced scale) one claim from the evaluation and
+checks that the *qualitative* result — who wins, by roughly what factor —
+holds in this implementation.  Absolute numbers are not asserted tightly:
+the substrate is a simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments.idle import IdleExperiment
+from repro.core.experiments.performance import PerformanceExperiment
+from repro.core.experiments.synseries import SynSeriesExperiment
+from repro.core.workloads import workload_by_name
+from repro.units import minutes
+
+
+@pytest.fixture(scope="module")
+def performance():
+    """One repetition of the four Fig. 6 workloads for all five services."""
+    return PerformanceExperiment(repetitions=1, pause_between_runs=5.0).run()
+
+
+class TestFigure6Findings:
+    def test_dropbox_wins_100x10kb_by_a_large_factor(self, performance):
+        completion = performance.figure_series("completion")
+        dropbox = completion["dropbox"]["100x10kB"]
+        assert all(completion[other]["100x10kB"] > 2 * dropbox for other in completion if other != "dropbox")
+        # "the upload time of the same file set can take seven times more"
+        assert max(c["100x10kB"] for c in completion.values()) > 5 * dropbox
+
+    def test_googledrive_and_wuala_fastest_for_single_files(self, performance):
+        completion = performance.figure_series("completion")
+        for workload in ("1x100kB", "1x1MB"):
+            fastest_two = sorted(completion, key=lambda s: completion[s][workload])[:2]
+            assert set(fastest_two) <= {"googledrive", "wuala", "clouddrive"}
+            assert completion["skydrive"][workload] == max(c[workload] for c in completion.values())
+
+    def test_skydrive_needs_seconds_for_1mb_google_a_fraction(self, performance):
+        completion = performance.figure_series("completion")
+        assert completion["skydrive"]["1x1MB"] > 3.0
+        assert completion["googledrive"]["1x1MB"] < 1.0
+
+    def test_startup_ordering(self, performance):
+        startup = performance.figure_series("startup")
+        # Dropbox is the fastest service to start synchronizing single files.
+        for workload in ("1x100kB", "1x1MB"):
+            assert startup["dropbox"][workload] == min(s[workload] for s in startup.values())
+        # SkyDrive is by far the slowest: at least 9 s, more than 20 s for 100 files.
+        assert all(startup["skydrive"][w] >= 9.0 for w in startup["skydrive"])
+        assert startup["skydrive"]["100x10kB"] > 20.0
+        # Wuala roughly doubles its start-up time for the 100-file batch.
+        assert startup["wuala"]["100x10kB"] > 1.7 * startup["wuala"]["1x100kB"]
+
+    def test_overhead_ordering(self, performance):
+        overhead = performance.figure_series("overhead")
+        # Cloud Drive's overhead is in a league of its own for many small files.
+        assert overhead["clouddrive"]["100x10kB"] > 3.5
+        # Google Drive exchanges about twice the actual data size.
+        assert 1.6 < overhead["googledrive"]["100x10kB"] < 2.6
+        # Dropbox shows the highest overhead among the remaining services on small files.
+        others = {"skydrive", "wuala", "googledrive"}
+        assert overhead["dropbox"]["1x100kB"] > max(overhead[s]["1x100kB"] for s in others)
+        # Overhead shrinks as files grow.
+        for service in overhead:
+            assert overhead[service]["1x1MB"] < overhead[service]["1x100kB"]
+
+    def test_dropbox_effective_rate_around_1mbps_for_bundled_small_files(self, performance):
+        rows = {(row["service"], row["workload"]): row for row in performance.rows()}
+        throughput = rows[("dropbox", "100x10kB")]["throughput_mbps"]
+        assert 0.4 < throughput < 2.0
+
+
+class TestFigure3Findings:
+    def test_connection_counts_and_durations(self):
+        result = SynSeriesExperiment().run()
+        googledrive = result.services["googledrive"]
+        clouddrive = result.services["clouddrive"]
+        assert googledrive.total_connections == 100
+        assert clouddrive.total_connections == 400
+        assert clouddrive.completion_time > googledrive.completion_time
+        assert 15 < googledrive.completion_time < 60
+        assert 40 < clouddrive.completion_time < 120
+
+
+class TestFigure1Findings:
+    @pytest.fixture(scope="class")
+    def idle(self):
+        return IdleExperiment(duration=minutes(16)).run()
+
+    def test_clouddrive_background_traffic_is_kilobits_per_second(self, idle):
+        clouddrive = idle.services["clouddrive"]
+        assert 3_000 < clouddrive.background_rate_bps < 12_000
+        assert clouddrive.daily_volume_bytes > 30e6
+
+    def test_other_services_stay_below_a_few_hundred_bps(self, idle):
+        for service in ("dropbox", "skydrive", "wuala", "googledrive"):
+            assert idle.services[service].background_rate_bps < 300
+
+    def test_skydrive_login_is_about_four_times_heavier(self, idle):
+        skydrive = idle.services["skydrive"].login_bytes
+        others = [idle.services[s].login_bytes for s in ("dropbox", "wuala", "googledrive")]
+        assert all(skydrive > 2.5 * other for other in others)

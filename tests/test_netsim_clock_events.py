@@ -1,0 +1,77 @@
+"""Tests for the simulated clock and the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.clock import SimClock
+from repro.netsim.events import EventQueue
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("late"))
+        queue.schedule(1.0, lambda: fired.append("early"))
+        while (event := queue.pop_due(5.0)) is not None:
+            event.callback()
+        assert fired == ["early", "late"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("first"))
+        queue.schedule(1.0, lambda: fired.append("second"))
+        while (event := queue.pop_due(1.0)) is not None:
+            event.callback()
+        assert fired == ["first", "second"]
+
+    def test_pop_due_respects_now(self):
+        queue = EventQueue()
+        queue.schedule(10.0, lambda: None)
+        assert queue.pop_due(5.0) is None
+        assert queue.pop_due(10.0) is not None
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop_due(2.0) is None
+        assert len(queue) == 0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.0, lambda: None)
+        queue.schedule(1.0, lambda: None)
+        assert queue.peek_time() == 1.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0

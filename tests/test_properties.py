@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.capture import analysis
+from repro.capture.trace import PacketTrace
+from repro.netsim.link import NetworkPath
+from repro.netsim.packet import Packet, PacketDirection, TCPFlags
+from repro.sync.bundling import BundleBuilder, BundleEntry
+from repro.sync.chunking import FixedChunker, VariableChunker
+from repro.sync.compression import CompressionPolicy, Compressor
+from repro.sync.delta import DeltaCodec
+from repro.sync.dedup import DedupIndex
+from repro.units import mbps
+
+# Keep generated payloads small: these properties are structural, not
+# performance related.
+payloads = st.binary(min_size=0, max_size=20_000)
+small_payloads = st.binary(min_size=0, max_size=4_000)
+
+
+class TestChunkingProperties:
+    @given(data=payloads, chunk_size=st.integers(min_value=1, max_value=5_000))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_chunks_cover_input_exactly(self, data, chunk_size):
+        chunks = FixedChunker(chunk_size).chunk(data)
+        assert sum(chunk.length for chunk in chunks) == len(data)
+        assert b"".join(data[c.offset:c.offset + c.length] for c in chunks) == data
+        assert all(chunk.length <= chunk_size for chunk in chunks)
+
+    @given(data=payloads)
+    @settings(max_examples=30, deadline=None)
+    def test_variable_chunks_cover_input_exactly(self, data):
+        chunker = VariableChunker(min_size=512, average_size=2048, max_size=8192, page_size=256)
+        chunks = chunker.chunk(data)
+        assert sum(chunk.length for chunk in chunks) == len(data)
+        offsets = [chunk.offset for chunk in chunks]
+        assert offsets == sorted(offsets)
+
+    @given(data=payloads, chunk_size=st.integers(min_value=64, max_value=4_096))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_digests_are_stable(self, data, chunk_size):
+        first = FixedChunker(chunk_size).chunk(data)
+        second = FixedChunker(chunk_size).chunk(data)
+        assert [c.digest for c in first] == [c.digest for c in second]
+
+
+class TestDeltaProperties:
+    @given(old=small_payloads, new=small_payloads, block_size=st.integers(min_value=16, max_value=512))
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_apply_delta_reconstructs_new_revision(self, old, new, block_size):
+        codec = DeltaCodec(block_size=block_size)
+        delta = codec.compute_delta(new, codec.compute_signature(old))
+        assert codec.apply_delta(old, delta) == new
+
+    @given(old=small_payloads, insertion=st.binary(min_size=0, max_size=256))
+    @settings(max_examples=40, deadline=None)
+    def test_delta_literal_bytes_never_exceed_new_size(self, old, insertion):
+        codec = DeltaCodec(block_size=64)
+        new = old + insertion
+        delta = codec.compute_delta(new, codec.compute_signature(old))
+        assert delta.literal_bytes <= len(new)
+
+
+class TestCompressionProperties:
+    @given(data=payloads, policy=st.sampled_from(list(CompressionPolicy)))
+    @settings(max_examples=60, deadline=None)
+    def test_transmitted_size_never_exceeds_original(self, data, policy):
+        result = Compressor(policy).process(data)
+        assert 0 <= result.transmitted_size <= len(data)
+        assert result.ratio <= 1.0
+
+
+class TestDedupProperties:
+    @given(digests=st.lists(st.text(alphabet="abcdef0123456789", min_size=4, max_size=8), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_known_set_grows_monotonically(self, digests):
+        index = DedupIndex()
+        seen = set()
+        for digest in digests:
+            index.add(digest)
+            seen.add(digest)
+            assert len(index) == len(seen)
+            assert all(d in index for d in seen)
+
+
+class TestBundlingProperties:
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=50_000), max_size=60),
+           limit=st.integers(min_value=1_000, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_bundles_preserve_total_payload_and_order(self, sizes, limit):
+        builder = BundleBuilder(max_bundle_bytes=limit)
+        bundles = builder.pack_sizes(sizes)
+        assert sum(bundle.payload_size for bundle in bundles) == sum(sizes)
+        flattened = [entry.payload_size for bundle in bundles for entry in bundle.entries]
+        assert flattened == list(sizes)
+        for bundle in bundles:
+            assert len(bundle) >= 1
+            assert bundle.payload_size <= max(limit, max(sizes or [0]))
+
+
+class TestNetworkProperties:
+    @given(nbytes=st.integers(min_value=1, max_value=5_000_000),
+           rtt=st.floats(min_value=0.001, max_value=0.3),
+           rate=st.floats(min_value=0.5, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_duration_at_least_serialization(self, nbytes, rtt, rate):
+        from repro.netsim.simulator import NetworkSimulator
+        from repro.netsim.endpoint import Endpoint
+
+        path = NetworkPath(rtt=rtt, uplink_bps=mbps(rate), downlink_bps=mbps(rate))
+        simulator = NetworkSimulator()
+        connection = simulator.open_connection(Endpoint("h.example", "192.0.2.5"), path)
+        duration = connection.transfer_duration(nbytes)
+        serialization = nbytes * 8 / mbps(rate)
+        assert duration >= serialization * 0.999
+        # The ramp-up can never cost more than one RTT per doubling of the window.
+        assert duration <= serialization + rtt * 40
+
+    @given(payload_sizes=st.lists(st.integers(min_value=1, max_value=3_000), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_byte_accounting_is_consistent(self, payload_sizes):
+        packets = [
+            Packet(
+                timestamp=float(index),
+                src="a", dst="b", src_port=1, dst_port=2,
+                direction=PacketDirection.OUT if index % 2 == 0 else PacketDirection.IN,
+                flags=TCPFlags.ACK,
+                payload_len=size,
+                hostname="h.example",
+            )
+            for index, size in enumerate(payload_sizes)
+        ]
+        trace = PacketTrace(packets)
+        assert trace.payload_bytes() == sum(payload_sizes)
+        assert trace.total_bytes() == sum(payload_sizes) + 40 * len(payload_sizes)
+        assert trace.uploaded_payload_bytes() + trace.downloaded_payload_bytes() == trace.payload_bytes()
+        series = analysis.cumulative_bytes_series(trace, interval=5.0)
+        assert series[-1][1] == trace.total_bytes()

@@ -1,0 +1,30 @@
+"""Tests for deterministic seed derivation."""
+
+from __future__ import annotations
+
+from repro.randomness import DEFAULT_SEED, derive_seed, make_rng
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_derive_seed_depends_on_labels():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", 1) != derive_seed(1, "a", 2)
+
+
+def test_derive_seed_depends_on_base_seed():
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_make_rng_reproducible_streams():
+    first = make_rng(DEFAULT_SEED, "stream").random()
+    second = make_rng(DEFAULT_SEED, "stream").random()
+    assert first == second
+
+
+def test_make_rng_independent_streams():
+    a = [make_rng(DEFAULT_SEED, "a").random() for _ in range(3)]
+    b = [make_rng(DEFAULT_SEED, "b").random() for _ in range(3)]
+    assert a != b

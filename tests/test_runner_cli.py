@@ -1,0 +1,71 @@
+"""Tests for the benchmark suite runner and the command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.runner import BenchmarkSuite, SuiteResult
+
+
+class TestBenchmarkSuite:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        return BenchmarkSuite(["dropbox", "googledrive"], repetitions=1, idle_duration=120.0, resolver_count=100)
+
+    def test_selected_stages_only(self, small_suite):
+        result = small_suite.run(stages=["syn_series", "idle"])
+        assert result.syn_series is not None
+        assert result.idle is not None
+        assert result.performance is None
+        assert result.capabilities is None
+
+    def test_summary_text_mentions_artifacts(self, small_suite):
+        result = small_suite.run(stages=["idle"])
+        text = result.summary_text()
+        assert "Fig. 1" in text
+        assert "dropbox" in text
+
+    def test_empty_result_summary(self):
+        assert SuiteResult().summary_text() == ""
+
+    def test_performance_stage_produces_figure6_series(self, small_suite):
+        result = small_suite.run(stages=["performance"])
+        series = result.performance.figure_series("completion")
+        assert set(series) == {"dropbox", "googledrive"}
+        text = result.summary_text()
+        assert "Fig. 6b" in text
+
+
+class TestCLI:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("capabilities", "idle", "datacenters", "connections", "delta", "compression", "performance", "all"):
+            assert command in text
+
+    def test_main_rejects_unknown_service(self):
+        with pytest.raises(SystemExit):
+            main(["--services", "icloud", "idle"])
+
+    def test_connections_command_prints_table(self, capsys):
+        exit_code = main(["--services", "googledrive", "connections"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 3" in captured
+        assert "googledrive" in captured
+
+    def test_idle_command_with_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "idle.csv"
+        exit_code = main(["--services", "wuala", "--csv", str(csv_path), "idle", "--minutes", "2"])
+        assert exit_code == 0
+        content = csv_path.read_text()
+        assert content.splitlines()[0].startswith("service,")
+        assert "wuala" in content
+        assert "CSV written" in capsys.readouterr().out
+
+    def test_performance_command_small_run(self, capsys):
+        exit_code = main(["--services", "wuala", "performance", "--repetitions", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Fig. 6a" in captured and "Fig. 6c" in captured

@@ -1,0 +1,214 @@
+"""Behavioural tests for the five simulated service clients.
+
+These tests validate the *mechanics* the paper documents for each client —
+connection management, capability composition, polling, login — by looking
+at client-side state and at the traffic seen by a sniffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture import analysis
+from repro.capture.sniffer import Sniffer
+from repro.errors import ServiceError
+from repro.filegen.batch import generate_batch
+from repro.filegen.binary import generate_binary
+from repro.filegen.model import FileKind
+from repro.filegen.text import generate_text
+from repro.netsim.simulator import NetworkSimulator
+from repro.services.registry import SERVICE_NAMES, create_client
+from repro.units import KB, MB
+
+
+def make_client(service):
+    simulator = NetworkSimulator()
+    sniffer = Sniffer(simulator)
+    client = create_client(service, simulator)
+    client.login()
+    return simulator, sniffer, client
+
+
+class TestGenericClientBehaviour:
+    @pytest.mark.parametrize("service", SERVICE_NAMES)
+    def test_sync_commits_files_server_side(self, service):
+        _, _, client = make_client(service)
+        files = generate_batch(FileKind.BINARY, 3, 20 * KB, prefix=f"{service}_sync")
+        summary = client.sync_files(files)
+        assert summary.file_count == 3
+        assert summary.logical_bytes == 3 * 20 * KB
+        assert client.backend.list_files(client.user)
+        assert set(client.known_revisions) == {file.name for file in files}
+
+    @pytest.mark.parametrize("service", SERVICE_NAMES)
+    def test_sync_generates_storage_traffic(self, service):
+        _, sniffer, client = make_client(service)
+        sniffer.reset()
+        client.sync_files([generate_binary(50 * KB, name="traffic.bin")])
+        storage = sniffer.trace.to_hosts(client.storage_hostnames)
+        assert storage.uploaded_payload_bytes() >= 45 * KB
+
+    def test_sync_requires_files(self):
+        _, _, client = make_client("dropbox")
+        with pytest.raises(ServiceError):
+            client.sync_files([])
+
+    def test_login_is_idempotent(self):
+        simulator, sniffer, client = make_client("dropbox")
+        packets_after_login = len(sniffer.trace)
+        client.login()
+        assert len(sniffer.trace) == packets_after_login
+
+    def test_delete_files_releases_namespace_but_not_chunks(self):
+        _, _, client = make_client("wuala")
+        file = generate_binary(30 * KB, name="todelete.bin")
+        summary = client.sync_files([file])
+        assert summary.chunks_uploaded >= 1
+        client.delete_files([file.name])
+        assert client.backend.list_files(client.user) == []
+        assert client.backend.chunk_count() >= 1
+
+    def test_disconnect_closes_channels(self):
+        _, _, client = make_client("dropbox")
+        client.sync_files([generate_binary(10 * KB, name="x.bin")])
+        client.disconnect()
+        assert client._control_channel is None
+        assert client._storage_channel is None
+
+
+class TestDropbox:
+    def test_bundles_small_files_into_few_storage_requests(self):
+        _, sniffer, client = make_client("dropbox")
+        sniffer.reset()
+        files = generate_batch(FileKind.BINARY, 50, 10 * KB, prefix="bundle")
+        summary = client.sync_files(files)
+        assert summary.used_bundling
+        assert 0 < summary.bundles <= 3
+        storage = sniffer.trace.to_hosts(client.storage_hostnames)
+        bursts = analysis.count_application_bursts(storage, gap=0.05)
+        assert bursts <= 6
+
+    def test_deduplicates_renamed_copies(self):
+        _, _, client = make_client("dropbox")
+        original = generate_binary(200 * KB, name="folder1/original.bin")
+        client.sync_files([original])
+        replica_summary = client.sync_files([original.renamed("folder2/replica.bin")])
+        assert replica_summary.chunks_deduplicated >= 1
+        assert replica_summary.transmitted_payload_bytes == 0
+
+    def test_delta_encoding_on_append(self):
+        _, _, client = make_client("dropbox")
+        base = generate_binary(1 * MB, name="delta.bin", seed=11)
+        client.sync_files([base])
+        appended = base.with_content(base.content + generate_binary(50 * KB, seed=12).content)
+        summary = client.sync_files([appended])
+        assert summary.used_delta
+        assert summary.transmitted_payload_bytes < 200 * KB
+
+    def test_compresses_text_always(self):
+        _, _, client = make_client("dropbox")
+        summary = client.sync_files([generate_text(500 * KB, name="doc.txt")])
+        assert summary.transmitted_payload_bytes < 250 * KB
+
+    def test_uses_plain_http_notification_channel(self):
+        _, sniffer, client = make_client("dropbox")
+        ports = {packet.dst_port for packet in sniffer.trace.outgoing()}
+        assert 80 in ports
+
+
+class TestGoogleDrive:
+    def test_one_storage_connection_per_file(self):
+        _, sniffer, client = make_client("googledrive")
+        sniffer.reset()
+        files = generate_batch(FileKind.BINARY, 20, 10 * KB, prefix="gd")
+        client.sync_files(files)
+        storage = sniffer.trace.to_hosts(client.storage_hostnames)
+        assert analysis.count_tcp_connections(storage) == 20
+
+    def test_smart_compression_skips_fake_jpeg(self):
+        from repro.filegen.jpeg import generate_fake_jpeg
+
+        _, _, client = make_client("googledrive")
+        text_summary = client.sync_files([generate_text(500 * KB, name="a.txt")])
+        fake_summary = client.sync_files([generate_fake_jpeg(500 * KB, name="b.jpg")])
+        assert text_summary.transmitted_payload_bytes < 250 * KB
+        assert fake_summary.transmitted_payload_bytes >= 490 * KB
+
+
+class TestCloudDrive:
+    def test_four_connections_per_file(self):
+        _, sniffer, client = make_client("clouddrive")
+        sniffer.reset()
+        files = generate_batch(FileKind.BINARY, 10, 10 * KB, prefix="cd")
+        client.sync_files(files)
+        # 1 storage + 3 control connections per file (Fig. 3).
+        assert analysis.count_tcp_connections(sniffer.trace) == 40
+
+    def test_no_deduplication(self):
+        _, _, client = make_client("clouddrive")
+        original = generate_binary(100 * KB, name="one.bin")
+        client.sync_files([original])
+        summary = client.sync_files([original.renamed("two.bin")])
+        assert summary.chunks_deduplicated == 0
+        assert summary.transmitted_payload_bytes >= 100 * KB
+
+    def test_polling_opens_new_connection_every_15s(self):
+        simulator, sniffer, client = make_client("clouddrive")
+        client.start_polling()
+        sniffer.reset()
+        simulator.run_for(120.0)
+        # One poll every ~15 s: 7 or 8 fresh connections in two minutes
+        # (each poll's own duration slightly shifts the next one).
+        assert 7 <= analysis.count_tcp_connections(sniffer.trace) <= 8
+        client.stop_polling()
+
+
+class TestSkyDrive:
+    def test_sequential_uploads_with_app_acks(self):
+        _, sniffer, client = make_client("skydrive")
+        sniffer.reset()
+        files = generate_batch(FileKind.BINARY, 8, 20 * KB, prefix="sd")
+        client.sync_files(files)
+        storage = sniffer.trace.to_hosts(client.storage_hostnames)
+        bursts = analysis.count_application_bursts(storage, gap=0.05)
+        assert bursts >= 8  # at least one burst per file: no pipelining
+
+    def test_heavy_login(self):
+        simulator = NetworkSimulator()
+        sniffer = Sniffer(simulator)
+        client = create_client("skydrive", simulator)
+        client.login()
+        assert analysis.count_tcp_connections(sniffer.trace) >= 13
+        assert sniffer.trace.total_bytes() > 100_000
+
+
+class TestWuala:
+    def test_encrypted_chunks_still_deduplicate(self):
+        _, _, client = make_client("wuala")
+        original = generate_binary(300 * KB, name="enc/one.bin")
+        client.sync_files([original])
+        summary = client.sync_files([original.renamed("enc/two.bin")])
+        assert summary.chunks_deduplicated >= 1
+        assert summary.transmitted_payload_bytes == 0
+
+    def test_restore_after_delete_is_deduplicated(self):
+        _, _, client = make_client("wuala")
+        original = generate_binary(300 * KB, name="enc/original.bin")
+        client.sync_files([original])
+        client.delete_files([original.name])
+        summary = client.sync_files([original])
+        assert summary.transmitted_payload_bytes == 0
+
+    def test_encryption_adds_small_overhead_but_no_compression(self):
+        _, _, client = make_client("wuala")
+        summary = client.sync_files([generate_text(400 * KB, name="enc/doc.txt")])
+        assert summary.transmitted_payload_bytes >= 400 * KB
+
+    def test_quiet_polling(self):
+        simulator, sniffer, client = make_client("wuala")
+        client.start_polling()
+        sniffer.reset()
+        simulator.run_for(900.0)
+        rate = sniffer.trace.total_bytes() * 8 / 900.0
+        assert rate < 150.0
+        client.stop_polling()

@@ -1,0 +1,107 @@
+"""Tests for the chunking strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filegen.binary import generate_binary
+from repro.sync.chunking import FixedChunker, NoChunker, VariableChunker, make_chunker
+
+
+def reassemble(data, chunks):
+    return b"".join(data[chunk.offset:chunk.offset + chunk.length] for chunk in chunks)
+
+
+class TestNoChunker:
+    def test_single_chunk_covers_everything(self):
+        data = generate_binary(50_000).content
+        chunks = NoChunker().chunk(data)
+        assert len(chunks) == 1
+        assert chunks[0].length == len(data)
+
+    def test_empty_input_gives_no_chunks(self):
+        assert NoChunker().chunk(b"") == []
+
+
+class TestFixedChunker:
+    def test_chunk_sizes_and_coverage(self):
+        data = generate_binary(10_500).content
+        chunks = FixedChunker(4000).chunk(data)
+        assert [chunk.length for chunk in chunks] == [4000, 4000, 2500]
+        assert [chunk.offset for chunk in chunks] == [0, 4000, 8000]
+        assert reassemble(data, chunks) == data
+
+    def test_exact_multiple_has_no_remainder(self):
+        data = generate_binary(8000).content
+        chunks = FixedChunker(4000).chunk(data)
+        assert [chunk.length for chunk in chunks] == [4000, 4000]
+
+    def test_digests_are_content_addressed(self):
+        data = generate_binary(8000).content
+        first = FixedChunker(4000).chunk(data)
+        second = FixedChunker(4000).chunk(data)
+        assert [c.digest for c in first] == [c.digest for c in second]
+
+    def test_identical_prefix_chunks_dedup_across_files(self):
+        base = generate_binary(8000, seed=1).content
+        extended = base + generate_binary(4000, seed=2).content
+        base_digests = {c.digest for c in FixedChunker(4000).chunk(base)}
+        extended_chunks = FixedChunker(4000).chunk(extended)
+        assert extended_chunks[0].digest in base_digests
+        assert extended_chunks[1].digest in base_digests
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            FixedChunker(0)
+
+
+class TestVariableChunker:
+    def test_coverage_and_bounds(self):
+        chunker = VariableChunker(min_size=10_000, average_size=30_000, max_size=60_000, page_size=1024)
+        data = generate_binary(500_000).content
+        chunks = chunker.chunk(data)
+        assert reassemble(data, chunks) == data
+        assert all(chunk.length <= 60_000 + 1024 for chunk in chunks)
+        assert all(chunk.length >= 10_000 for chunk in chunks[:-1])
+        assert len(chunks) > 3
+
+    def test_chunking_is_deterministic(self):
+        chunker = VariableChunker(min_size=10_000, average_size=30_000, max_size=60_000, page_size=1024)
+        data = generate_binary(200_000).content
+        assert [c.digest for c in chunker.chunk(data)] == [c.digest for c in chunker.chunk(data)]
+
+    def test_chunk_count_varies_between_files(self):
+        chunker = VariableChunker(min_size=8_000, average_size=24_000, max_size=64_000, page_size=1024)
+        counts = {len(chunker.chunk(generate_binary(300_000, seed=seed).content)) for seed in range(5)}
+        assert len(counts) > 1
+
+    def test_prefix_preserving_modification_keeps_early_chunks(self):
+        chunker = VariableChunker(min_size=8_000, average_size=24_000, max_size=64_000, page_size=1024)
+        base = generate_binary(300_000, seed=3).content
+        appended = base + generate_binary(50_000, seed=4).content
+        base_digests = {c.digest for c in chunker.chunk(base)}
+        appended_chunks = chunker.chunk(appended)
+        assert appended_chunks[0].digest in base_digests
+
+    def test_rejects_inconsistent_bounds(self):
+        with pytest.raises(ConfigurationError):
+            VariableChunker(min_size=100, average_size=50, max_size=200)
+
+    def test_empty_input(self):
+        assert VariableChunker().chunk(b"") == []
+
+
+class TestFactory:
+    def test_factory_dispatch(self):
+        assert isinstance(make_chunker("none"), NoChunker)
+        assert isinstance(make_chunker("fixed", 4_000_000), FixedChunker)
+        assert isinstance(make_chunker("variable", 3_000_000), VariableChunker)
+
+    def test_fixed_requires_size(self):
+        with pytest.raises(ConfigurationError):
+            make_chunker("fixed")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            make_chunker("adaptive")

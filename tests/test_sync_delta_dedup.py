@@ -1,0 +1,135 @@
+"""Tests for delta encoding and the deduplication index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filegen.binary import generate_binary
+from repro.sync.chunking import Chunk, FixedChunker
+from repro.sync.dedup import DedupIndex
+from repro.sync.delta import DeltaCodec, DeltaOpKind
+
+
+class TestDeltaCodec:
+    def setup_method(self):
+        self.codec = DeltaCodec(block_size=4096)
+
+    def roundtrip(self, old, new):
+        signature = self.codec.compute_signature(old)
+        delta = self.codec.compute_delta(new, signature)
+        assert self.codec.apply_delta(old, delta) == new
+        return delta
+
+    def test_identical_files_produce_no_literals(self):
+        data = generate_binary(100_000, seed=1).content
+        delta = self.roundtrip(data, data)
+        assert delta.literal_bytes == 0
+        assert delta.copy_ops == len(self.codec.compute_signature(data))
+
+    def test_append_only_sends_appended_bytes(self):
+        old = generate_binary(100_000, seed=2).content
+        addition = generate_binary(10_000, seed=3).content
+        delta = self.roundtrip(old, old + addition)
+        assert delta.literal_bytes <= len(addition) + self.codec.block_size
+
+    def test_insertion_in_the_middle_realigns(self):
+        old = generate_binary(200_000, seed=4).content
+        insertion = generate_binary(5_000, seed=5).content
+        new = old[:100_000] + insertion + old[100_000:]
+        delta = self.roundtrip(old, new)
+        # The rolling hash re-synchronises after the insertion, so only the
+        # inserted region plus at most a couple of blocks become literals.
+        assert delta.literal_bytes <= len(insertion) + 3 * self.codec.block_size
+
+    def test_completely_new_content_is_all_literal(self):
+        old = generate_binary(50_000, seed=6).content
+        new = generate_binary(50_000, seed=7).content
+        delta = self.roundtrip(old, new)
+        assert delta.literal_bytes == len(new)
+        assert delta.copy_ops == 0
+
+    def test_wire_size_accounts_for_framing(self):
+        old = generate_binary(50_000, seed=8).content
+        delta = self.roundtrip(old, old)
+        assert delta.wire_size() == 12 * len(delta.ops)
+
+    def test_empty_new_file(self):
+        old = generate_binary(10_000, seed=9).content
+        delta = self.roundtrip(old, b"")
+        assert delta.literal_bytes == 0
+        assert delta.ops == []
+
+    def test_empty_old_file_is_all_literal(self):
+        new = generate_binary(10_000, seed=10).content
+        delta = self.roundtrip(b"", new)
+        assert delta.literal_bytes == len(new)
+
+    def test_small_file_below_block_size(self):
+        old = generate_binary(2_000, seed=11).content
+        new = generate_binary(3_000, seed=12).content
+        delta = self.roundtrip(old, new)
+        assert delta.literal_bytes == len(new)
+
+    def test_signature_wire_size(self):
+        data = generate_binary(40_960, seed=13).content
+        signature = DeltaCodec(block_size=4096).compute_signature(data)
+        assert len(signature) == 10
+        assert signature.wire_size() == 200
+
+    def test_rejects_non_positive_block_size(self):
+        with pytest.raises(ConfigurationError):
+            DeltaCodec(block_size=0)
+
+    def test_ops_kinds_are_well_formed(self):
+        old = generate_binary(30_000, seed=14).content
+        new = old[:10_000] + generate_binary(500, seed=15).content + old[10_000:]
+        signature = self.codec.compute_signature(old)
+        delta = self.codec.compute_delta(new, signature)
+        for op in delta.ops:
+            if op.kind is DeltaOpKind.COPY:
+                assert 0 <= op.block_index < len(signature)
+                assert op.data == b""
+            else:
+                assert op.literal_length > 0
+
+
+class TestDedupIndex:
+    def test_partition_new_and_known(self):
+        index = DedupIndex()
+        chunks = FixedChunker(1000).chunk(generate_binary(3_000, seed=20).content)
+        missing, duplicates = index.partition(chunks)
+        assert len(missing) == 3 and not duplicates
+        index.add_chunks(chunks)
+        missing, duplicates = index.partition(chunks)
+        assert not missing and len(duplicates) == 3
+
+    def test_within_batch_duplicates_uploaded_once(self):
+        index = DedupIndex()
+        chunk = Chunk.from_bytes(0, b"same-bytes")
+        missing, duplicates = index.partition([chunk, chunk, chunk])
+        assert len(missing) == 1
+        assert len(duplicates) == 2
+
+    def test_release_does_not_forget_content(self):
+        index = DedupIndex()
+        chunk = Chunk.from_bytes(0, b"payload")
+        index.add(chunk.digest)
+        index.release(chunk.digest)
+        assert index.is_known(chunk.digest)
+        assert index.reference_count(chunk.digest) == 0
+
+    def test_reference_counting(self):
+        index = DedupIndex()
+        index.add("d1")
+        index.add("d1")
+        assert index.reference_count("d1") == 2
+        index.release("d1")
+        assert index.reference_count("d1") == 1
+
+    def test_contains_and_len(self):
+        index = DedupIndex()
+        assert "missing" not in index
+        index.add("present")
+        assert "present" in index
+        assert len(index) == 1

@@ -1,0 +1,122 @@
+"""Tests for the testbed: folder, FTP driver, test computer, controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filegen.batch import generate_batch
+from repro.filegen.binary import generate_binary
+from repro.filegen.model import FileKind
+from repro.netsim.simulator import NetworkSimulator
+from repro.testbed.controller import TestbedController
+from repro.testbed.folder import SyncedFolder
+from repro.testbed.ftp import FTPDriver
+from repro.testbed.testcomputer import TestComputer
+from repro.units import KB
+
+
+class TestSyncedFolder:
+    def test_put_and_get(self):
+        folder = SyncedFolder()
+        file = generate_binary(1000, name="a.bin")
+        event = folder.put(file, timestamp=1.0)
+        assert event.operation == "create"
+        assert folder.get("a.bin").content == file.content
+        assert folder.total_bytes() == 1000
+        assert "a.bin" in folder
+
+    def test_overwrite_is_a_modify_event(self):
+        folder = SyncedFolder()
+        file = generate_binary(1000, name="a.bin")
+        folder.put(file, timestamp=1.0)
+        event = folder.put(file.with_content(b"new"), timestamp=2.0)
+        assert event.operation == "modify"
+        assert len(folder) == 1
+
+    def test_delete(self):
+        folder = SyncedFolder()
+        folder.put(generate_binary(10, name="a.bin"), timestamp=1.0)
+        folder.delete("a.bin", timestamp=2.0)
+        assert len(folder) == 0
+        assert folder.events[-1].operation == "delete"
+        with pytest.raises(ConfigurationError):
+            folder.delete("missing.bin", timestamp=3.0)
+
+    def test_modification_timestamps(self):
+        folder = SyncedFolder()
+        assert folder.last_modification_time() is None
+        folder.put(generate_binary(10, name="a.bin"), timestamp=5.0)
+        folder.put(generate_binary(10, name="b.bin"), timestamp=7.0)
+        assert folder.last_modification_time() == 7.0
+        assert folder.first_modification_after(6.0) == 7.0
+        assert folder.first_modification_after(10.0) is None
+
+
+class TestTestComputerAndFTP:
+    def test_client_required_before_sync(self):
+        computer = TestComputer()
+        assert not computer.has_client
+        with pytest.raises(ConfigurationError):
+            _ = computer.client
+
+    def test_ftp_put_advances_clock_and_records_events(self):
+        simulator = NetworkSimulator()
+        computer = TestComputer()
+        driver = FTPDriver(simulator, computer)
+        files = generate_batch(FileKind.BINARY, 5, 100 * KB, prefix="ftp")
+        before = simulator.now
+        names = driver.put_files(files)
+        assert len(names) == 5
+        assert simulator.now > before
+        assert len(computer.folder.events) == 5
+        assert computer.folder.events[0].timestamp <= computer.folder.events[-1].timestamp
+
+
+class TestController:
+    def test_sync_upload_produces_complete_observation(self):
+        controller = TestbedController("googledrive")
+        controller.start_session()
+        files = generate_batch(FileKind.BINARY, 2, 50 * KB, prefix="obs")
+        observation = controller.sync_upload(files)
+        assert observation.service == "googledrive"
+        assert observation.benchmark_bytes == 100 * KB
+        assert observation.modification_time is not None
+        assert observation.window_start < observation.window_end
+        assert not observation.trace.is_empty()
+        assert observation.summary is not None
+        assert not observation.storage_trace().is_empty()
+
+    def test_session_starts_lazily(self):
+        controller = TestbedController("dropbox")
+        observation = controller.sync_upload([generate_binary(10 * KB, name="lazy.bin")])
+        assert observation.summary.file_count == 1
+
+    def test_idle_observation_with_polling(self):
+        controller = TestbedController("clouddrive")
+        controller.start_session(polling=True)
+        observation = controller.idle(120.0)
+        assert observation.trace.total_bytes() > 0
+        controller.end_session()
+
+    def test_login_observation_contains_login_traffic(self):
+        controller = TestbedController("skydrive")
+        observation = controller.start_session()
+        assert observation.label == "login"
+        assert observation.trace.total_bytes() > 100_000
+
+    def test_delete_observation(self):
+        controller = TestbedController("dropbox")
+        controller.start_session()
+        file = generate_binary(20 * KB, name="gone.bin")
+        controller.sync_upload([file])
+        observation = controller.delete([file.name])
+        assert observation.label == "delete"
+        assert controller.backend.list_files(controller.client.user) == []
+
+    def test_pause_between_experiments_advances_time(self):
+        controller = TestbedController("wuala")
+        controller.start_session()
+        before = controller.simulator.now
+        controller.pause_between_experiments(300.0)
+        assert controller.simulator.now == pytest.approx(before + 300.0)
