@@ -12,15 +12,28 @@ Sub-commands map one-to-one to the paper's artifacts::
     cloudbench all                          # everything above
 
 Results are printed as ASCII tables; ``--csv PATH`` additionally writes the
-raw rows to a CSV file.
+raw rows to a CSV file.  For ``all``, every completed stage is written to
+its own stage-tagged CSV (``results.csv`` becomes ``results.idle.csv``,
+``results.performance.csv``, ...), not just the performance rows.
+
+``cloudbench all`` runs through the parallel campaign engine
+(:mod:`repro.core.campaign`): every (stage, service) cell is an independent
+simulation, fanned out over ``--jobs N`` worker processes (default: one per
+CPU).  Results are bit-identical for any ``--jobs`` value given the same
+``--seed``; a per-cell wall-clock table quantifies the speedup,
+``--stages`` selects a subset of campaign stages, and ``--json PATH``
+writes the machine-readable per-cell results and timings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.campaign import STAGES, default_jobs, suite_stage_rows
 from repro.core.experiments.compression import CompressionExperiment
 from repro.core.experiments.datacenters import DataCenterExperiment
 from repro.core.experiments.delta import DeltaEncodingExperiment
@@ -31,6 +44,8 @@ from repro.core.capabilities import CapabilityProber
 from repro.core.report import render_grouped_bars, render_table, to_csv
 from repro.core.runner import BenchmarkSuite
 from repro.core.workloads import PAPER_WORKLOADS
+from repro.errors import ConfigurationError
+from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.units import minutes
 
@@ -52,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--csv", default=None, help="also write the result rows to this CSV file")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help=f"campaign seed; identical seeds reproduce identical results (default: {DEFAULT_SEED})",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("capabilities", help="Table 1: capability matrix")
@@ -71,10 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
     performance = subparsers.add_parser("performance", help="Fig. 6: start-up, completion, overhead")
     performance.add_argument("--repetitions", type=int, default=3, help="repetitions per (service, workload)")
 
-    everything = subparsers.add_parser("all", help="run the whole campaign")
+    everything = subparsers.add_parser("all", help="run the whole campaign through the parallel engine")
     everything.add_argument("--repetitions", type=int, default=2, help="repetitions per (service, workload)")
     everything.add_argument("--minutes", type=float, default=16.0, help="idle observation window (minutes)")
     everything.add_argument("--resolvers", type=int, default=300, help="number of open resolvers to fan out over")
+    everything.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the campaign cells (default: one per CPU)",
+    )
+    everything.add_argument(
+        "--stages",
+        default=None,
+        help=f"comma-separated subset of campaign stages to run (default: all of {','.join(STAGES)})",
+    )
+    everything.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write machine-readable per-cell results and timings to this JSON file",
+    )
     return parser
 
 
@@ -84,6 +122,23 @@ def _emit(rows: List[dict], text: str, csv_path: Optional[str]) -> None:
         with open(csv_path, "w", encoding="utf-8") as handle:
             handle.write(to_csv(rows) + "\n")
         print(f"\nCSV written to {csv_path}")
+
+
+def _stage_csv_path(csv_path: str, stage: str) -> str:
+    """Per-stage CSV file name: ``results.csv`` -> ``results.idle.csv``."""
+    base, extension = os.path.splitext(csv_path)
+    return f"{base}.{stage}{extension or '.csv'}"
+
+
+def _write_stage_csvs(csv_path: str, stage_rows: Dict[str, List[dict]]) -> List[str]:
+    """Write one CSV per completed stage; returns the paths written."""
+    written = []
+    for stage, rows in stage_rows.items():
+        path = _stage_csv_path(csv_path, stage)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(rows) + "\n")
+        written.append(path)
+    return written
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,7 +154,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         services = list(SERVICE_NAMES)
 
     if args.command == "capabilities":
-        matrix = CapabilityProber().build_matrix(services)
+        matrix = CapabilityProber(seed=args.seed).build_matrix(services)
         _emit(matrix.rows(), render_table(matrix.rows(), title="Table 1 - capabilities"), args.csv)
     elif args.command == "idle":
         result = IdleExperiment(services, duration=minutes(args.minutes)).run()
@@ -113,16 +168,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _emit(result.rows(), text, args.csv)
     elif args.command == "connections":
         wanted = [name for name in ("clouddrive", "googledrive") if name in services] or services
-        result = SynSeriesExperiment(wanted).run()
+        result = SynSeriesExperiment(wanted, seed=args.seed).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 3 - TCP connections (100x10kB)"), args.csv)
     elif args.command == "delta":
-        result = DeltaEncodingExperiment(services).run()
+        result = DeltaEncodingExperiment(services, seed=args.seed).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 4 - delta encoding"), args.csv)
     elif args.command == "compression":
-        result = CompressionExperiment(services).run()
+        result = CompressionExperiment(services, seed=args.seed).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 5 - compression"), args.csv)
     elif args.command == "performance":
-        result = PerformanceExperiment(services, repetitions=args.repetitions).run()
+        result = PerformanceExperiment(services, repetitions=args.repetitions, seed=args.seed).run()
         workload_order = [workload.name for workload in PAPER_WORKLOADS]
         text = "\n\n".join(
             [
@@ -136,15 +191,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         _emit(result.rows(), text, args.csv)
     elif args.command == "all":
+        jobs = args.jobs if args.jobs is not None else default_jobs()
         suite = BenchmarkSuite(
             services,
             repetitions=args.repetitions,
             idle_duration=minutes(args.minutes),
             resolver_count=args.resolvers,
+            seed=args.seed,
         )
-        result = suite.run()
-        rows = result.performance.rows() if result.performance is not None else []
-        _emit(rows, result.summary_text(), args.csv)
+        stages = None
+        if args.stages:
+            stages = [name.strip() for name in args.stages.split(",") if name.strip()]
+        try:
+            campaign = suite.run_campaign(stages, jobs=jobs)
+        except ConfigurationError as error:
+            parser.error(str(error))
+        result = campaign.suite
+        print(result.summary_text())
+        print()
+        print(render_table(campaign.timing_rows(), title=f"Campaign timing (jobs={campaign.jobs})"))
+        print(
+            f"total wall-clock {campaign.wall_seconds:.2f} s for "
+            f"{campaign.cpu_seconds():.2f} s of cell work "
+            f"({campaign.cpu_seconds() / max(campaign.wall_seconds, 1e-9):.2f}x)"
+        )
+        if args.csv:
+            for path in _write_stage_csvs(args.csv, suite_stage_rows(result)):
+                print(f"CSV written to {path}")
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(campaign.to_json_dict(), handle, indent=2, default=str)
+                handle.write("\n")
+            print(f"JSON written to {args.json_path}")
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

@@ -1,0 +1,362 @@
+"""Parallel, cell-based campaign engine.
+
+The paper's campaign (Table 1 plus Figs. 1-6 across five services) is a grid
+of independent simulations: every (stage, service) pair runs on its own
+fresh testbed, so no cell can observe another.  This module makes that grid
+explicit:
+
+* :class:`CampaignCell` — one stage × one service, plus the seed and the
+  knobs (repetitions, idle duration, resolver count) it needs to run;
+* :func:`run_cell` — executes one cell and times it (a module-level function
+  so cells can be shipped to ``concurrent.futures`` worker processes);
+* :class:`CampaignRunner` — plans the cell grid, fans it out over a process
+  pool (``jobs`` workers) and merges the per-cell payloads back into the
+  exact :class:`~repro.core.runner.SuiteResult` the sequential runner used
+  to produce, so ``summary_text()`` and every table/figure renderer are
+  untouched.
+
+Determinism: every cell carries the campaign seed, and each experiment
+derives its random streams from ``(seed, service, ...)`` labels
+(:func:`repro.randomness.derive_seed`), so a cell's output is a pure
+function of its (stage, service, seed, config) identity — independent of
+scheduling, of which other cells run, and of whether they run in the same
+process.  Merging happens in plan order, never completion order.
+``jobs=4`` therefore produces results bit-identical to ``jobs=1``, which in
+turn are bit-identical to the standalone per-stage commands and to the
+pre-engine sequential suite for the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.capabilities import CapabilityMatrix, CapabilityProber
+from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
+from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult
+from repro.core.experiments.delta import DeltaEncodingExperiment, DeltaResult
+from repro.core.experiments.idle import IdleExperiment, IdleResult
+from repro.core.experiments.performance import PerformanceExperiment, PerformanceResult
+from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
+from repro.errors import ConfigurationError
+from repro.randomness import DEFAULT_SEED
+from repro.services.registry import SERVICE_NAMES
+from repro.units import minutes
+
+__all__ = [
+    "STAGES",
+    "CampaignConfig",
+    "CampaignCell",
+    "CellResult",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_cell",
+    "merge_cell_results",
+    "suite_stage_rows",
+    "default_jobs",
+]
+
+#: Fig. 3 is only plotted for the two services with per-file connections.
+SYN_SERIES_SERVICES = ("clouddrive", "googledrive")
+
+
+def default_jobs() -> int:
+    """Default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """The fidelity/runtime knobs shared by every cell of one campaign."""
+
+    repetitions: int = 3
+    idle_duration: float = minutes(16)
+    resolver_count: int = 500
+    planetlab_count: int = 300
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independently schedulable unit: one stage for one service."""
+
+    stage: str
+    service: str
+    seed: int
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"performance/dropbox"``."""
+        return f"{self.stage}/{self.service}"
+
+
+# --------------------------------------------------------------------------- #
+# Stage registry: per-cell runner + SuiteResult merge rules, in one place
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _StageSpec:
+    """Everything the engine needs to know about one campaign stage.
+
+    ``name`` doubles as the :class:`~repro.core.runner.SuiteResult`
+    attribute holding the stage's merged container.  Adding a stage means
+    adding exactly one spec (plus the ``SuiteResult`` field).
+    """
+
+    name: str
+    run: Callable[[CampaignCell], Any]
+    empty: Callable[[Any], Any]  # payload -> fresh merged-stage container
+    fold: Callable[[Any, CampaignCell, Any], None]  # container, cell, payload
+
+
+def _run_capabilities(cell: CampaignCell) -> Any:
+    return CapabilityProber(seed=cell.seed).probe_service(cell.service)
+
+
+def _run_idle(cell: CampaignCell) -> Any:
+    return IdleExperiment([cell.service], duration=cell.config.idle_duration).run_service(cell.service)
+
+
+def _run_datacenters(cell: CampaignCell) -> Any:
+    experiment = DataCenterExperiment(
+        [cell.service],
+        resolver_count=cell.config.resolver_count,
+        planetlab_count=cell.config.planetlab_count,
+    )
+    return experiment.run_service(cell.service)
+
+
+def _run_syn_series(cell: CampaignCell) -> Any:
+    return SynSeriesExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+
+
+def _run_delta(cell: CampaignCell) -> Any:
+    return DeltaEncodingExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+
+
+def _run_compression(cell: CampaignCell) -> Any:
+    return CompressionExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+
+
+def _run_performance(cell: CampaignCell) -> Any:
+    experiment = PerformanceExperiment([cell.service], repetitions=cell.config.repetitions, seed=cell.seed)
+    return experiment.run_service(cell.service)
+
+
+def _fold_matrix(container: CapabilityMatrix, cell: CampaignCell, payload: Any) -> None:
+    container.add_service(payload)
+
+
+def _fold_service_map(container: Any, cell: CampaignCell, payload: Any) -> None:
+    container.services[cell.service] = payload
+
+
+def _fold_report(container: DataCenterResult, cell: CampaignCell, payload: Any) -> None:
+    container.reports[cell.service] = payload
+
+
+def _fold_points(container: Any, cell: CampaignCell, payload: Any) -> None:
+    container.points.extend(payload)
+
+
+def _fold_runs(container: PerformanceResult, cell: CampaignCell, payload: Any) -> None:
+    container.runs.extend(payload)
+
+
+_STAGE_SPECS: Dict[str, _StageSpec] = {
+    spec.name: spec
+    for spec in (
+        _StageSpec("capabilities", _run_capabilities, lambda payload: CapabilityMatrix(), _fold_matrix),
+        _StageSpec("idle", _run_idle, lambda payload: IdleResult(duration=payload.duration), _fold_service_map),
+        _StageSpec("datacenters", _run_datacenters, lambda payload: DataCenterResult(), _fold_report),
+        _StageSpec("syn_series", _run_syn_series, lambda payload: SynSeriesResult(), _fold_service_map),
+        _StageSpec("delta", _run_delta, lambda payload: DeltaResult(), _fold_points),
+        _StageSpec("compression", _run_compression, lambda payload: CompressionExperimentResult(), _fold_points),
+        _StageSpec("performance", _run_performance, lambda payload: PerformanceResult(), _fold_runs),
+    )
+}
+
+#: Every campaign stage, in the paper's presentation order (Table 1, Figs. 1-6).
+STAGES = tuple(_STAGE_SPECS)
+
+
+def _spec(stage: str) -> _StageSpec:
+    try:
+        return _STAGE_SPECS[stage]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign stage {stage!r}; valid stages: {', '.join(STAGES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution and results
+# --------------------------------------------------------------------------- #
+@dataclass
+class CellResult:
+    """One cell's payload plus its wall-clock cost."""
+
+    cell: CampaignCell
+    payload: Any
+    wall_seconds: float
+
+    def rows(self) -> List[dict]:
+        """This cell's result rendered as flat report rows."""
+        spec = _spec(self.cell.stage)
+        container = spec.empty(self.payload)
+        spec.fold(container, self.cell, self.payload)
+        return container.rows()
+
+
+def run_cell(cell: CampaignCell) -> CellResult:
+    """Execute one campaign cell on a fresh testbed and time it."""
+    spec = _spec(cell.stage)
+    started = time.perf_counter()
+    payload = spec.run(cell)
+    return CellResult(cell=cell, payload=payload, wall_seconds=time.perf_counter() - started)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produces: merged suite + per-cell accounting."""
+
+    suite: "SuiteResult"
+    cells: List[CellResult]
+    seed: int
+    jobs: int
+    wall_seconds: float
+
+    def timing_rows(self) -> List[dict]:
+        """Per-cell wall-clock rows (plan order), for the timing table."""
+        return [
+            {
+                "stage": result.cell.stage,
+                "service": result.cell.service,
+                "wall_s": round(result.wall_seconds, 3),
+            }
+            for result in self.cells
+        ]
+
+    def cpu_seconds(self) -> float:
+        """Sum of per-cell wall clocks: the sequential-equivalent runtime."""
+        return sum(result.wall_seconds for result in self.cells)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable campaign record: per-cell rows and timings."""
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "stages": sorted({result.cell.stage for result in self.cells}, key=STAGES.index),
+            "services": list(dict.fromkeys(result.cell.service for result in self.cells)),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cell_cpu_seconds": round(self.cpu_seconds(), 3),
+            "cells": [
+                {
+                    "stage": result.cell.stage,
+                    "service": result.cell.service,
+                    "wall_seconds": round(result.wall_seconds, 3),
+                    "rows": result.rows(),
+                }
+                for result in self.cells
+            ],
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Planning, fan-out and merging
+# --------------------------------------------------------------------------- #
+class CampaignRunner:
+    """Plan the (stage, service) grid, fan it out and merge the results."""
+
+    def __init__(
+        self,
+        services: Optional[Sequence[str]] = None,
+        stages: Optional[Sequence[str]] = None,
+        *,
+        seed: int = DEFAULT_SEED,
+        jobs: Optional[int] = None,
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        self.services = list(services) if services is not None else list(SERVICE_NAMES)
+        wanted = list(stages) if stages is not None else list(STAGES)
+        unknown = [stage for stage in wanted if stage not in STAGES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown stage(s): {', '.join(sorted(unknown))}; valid stages: {', '.join(STAGES)}"
+            )
+        # Deduplicate while keeping the canonical stage order.
+        self.stages = [stage for stage in STAGES if stage in wanted]
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.seed = seed
+        self.config = config if config is not None else CampaignConfig()
+
+    def cells(self) -> List[CampaignCell]:
+        """The campaign plan: one cell per (stage, service), stage-major.
+
+        Every cell carries the campaign seed; the per-cell random streams
+        are nevertheless independent because each experiment derives them
+        from ``(seed, service, ...)`` labels.  Keeping the seed undiluted
+        means a single-stage campaign reproduces the standalone experiment
+        (and the standalone CLI subcommand) bit-for-bit.
+        """
+        plan: List[CampaignCell] = []
+        for stage in self.stages:
+            for service in self._stage_services(stage):
+                plan.append(CampaignCell(stage=stage, service=service, seed=self.seed, config=self.config))
+        return plan
+
+    def _stage_services(self, stage: str) -> List[str]:
+        if stage == "syn_series":
+            return [name for name in SYN_SERIES_SERVICES if name in self.services] or list(self.services)
+        return list(self.services)
+
+    def run(self) -> CampaignResult:
+        """Execute every cell (in parallel for ``jobs > 1``) and merge."""
+        plan = self.cells()
+        started = time.perf_counter()
+        if self.jobs == 1 or len(plan) <= 1:
+            results = [run_cell(cell) for cell in plan]
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(plan))) as pool:
+                # ``map`` preserves plan order regardless of completion order.
+                results = list(pool.map(run_cell, plan))
+        wall = time.perf_counter() - started
+        return CampaignResult(
+            suite=merge_cell_results(results),
+            cells=results,
+            seed=self.seed,
+            jobs=self.jobs,
+            wall_seconds=wall,
+        )
+
+
+def merge_cell_results(results: Sequence[CellResult]) -> "SuiteResult":
+    """Fold per-cell payloads back into the sequential-era ``SuiteResult``.
+
+    ``results`` must be in plan order (stage-major, services in campaign
+    order); the merged per-stage containers then list services exactly as
+    the old sequential loops did.
+    """
+    from repro.core.runner import SuiteResult  # local import: runner builds on this module
+
+    suite = SuiteResult()
+    for result in results:
+        spec = _spec(result.cell.stage)
+        container = getattr(suite, spec.name)
+        if container is None:
+            container = spec.empty(result.payload)
+            setattr(suite, spec.name, container)
+        spec.fold(container, result.cell, result.payload)
+    return suite
+
+
+def suite_stage_rows(suite: "SuiteResult") -> Dict[str, List[dict]]:
+    """Flat report rows for every completed stage, keyed by stage name."""
+    rows: Dict[str, List[dict]] = {}
+    for stage in STAGES:
+        container = getattr(suite, stage)
+        if container is not None:
+            rows[stage] = container.rows()
+    return rows

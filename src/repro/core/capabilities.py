@@ -30,6 +30,7 @@ __all__ = [
     "DeduplicationResult",
     "DeltaEncodingResult",
     "CompressionResult",
+    "ServiceCapabilities",
     "CapabilityMatrix",
     "CapabilityProber",
 ]
@@ -136,6 +137,18 @@ class CompressionResult:
 
 
 @dataclass
+class ServiceCapabilities:
+    """All five §4 probe outcomes for a single service: one Table 1 row."""
+
+    service: str
+    chunking: ChunkingResult
+    bundling: BundlingResult
+    deduplication: DeduplicationResult
+    delta_encoding: DeltaEncodingResult
+    compression: CompressionResult
+
+
+@dataclass
 class CapabilityMatrix:
     """The Table 1 reproduction: one row per service, one column per capability."""
 
@@ -150,6 +163,15 @@ class CapabilityMatrix:
         names = set(self.chunking) | set(self.bundling) | set(self.deduplication)
         names |= set(self.delta_encoding) | set(self.compression)
         return [name for name in SERVICE_NAMES if name in names] + sorted(names - set(SERVICE_NAMES))
+
+    def add_service(self, capabilities: ServiceCapabilities) -> None:
+        """Merge one service's probe outcomes into the matrix."""
+        service = capabilities.service
+        self.chunking[service] = capabilities.chunking
+        self.bundling[service] = capabilities.bundling
+        self.deduplication[service] = capabilities.deduplication
+        self.delta_encoding[service] = capabilities.delta_encoding
+        self.compression[service] = capabilities.compression
 
     def rows(self) -> List[dict]:
         """Rows matching the layout of Table 1."""
@@ -359,15 +381,27 @@ class CapabilityProber:
             result.policy = "smart"
         return result
 
-    # -- whole matrix ------------------------------------------------------ #
+    # -- one service / whole matrix ---------------------------------------- #
+    def probe_service(self, service: str) -> ServiceCapabilities:
+        """Run all five §4 probes against one service: its Table 1 row.
+
+        This is the campaign engine's per-cell entry point; every probe uses
+        seeds derived from (prober seed, service), so probing services in any
+        order — or in parallel — yields identical rows.
+        """
+        return ServiceCapabilities(
+            service=service,
+            chunking=self.probe_chunking(service),
+            bundling=self.probe_bundling(service),
+            deduplication=self.probe_deduplication(service),
+            delta_encoding=self.probe_delta_encoding(service),
+            compression=self.probe_compression(service),
+        )
+
     def build_matrix(self, services: Optional[Sequence[str]] = None) -> CapabilityMatrix:
         """Probe every capability of every service and assemble the Table 1 reproduction."""
         services = list(services) if services is not None else list(SERVICE_NAMES)
         matrix = CapabilityMatrix()
         for service in services:
-            matrix.chunking[service] = self.probe_chunking(service)
-            matrix.bundling[service] = self.probe_bundling(service)
-            matrix.deduplication[service] = self.probe_deduplication(service)
-            matrix.delta_encoding[service] = self.probe_delta_encoding(service)
-            matrix.compression[service] = self.probe_compression(service)
+            matrix.add_service(self.probe_service(service))
         return matrix

@@ -132,6 +132,24 @@ class DataCenterExperiment:
         self.resolver_count = resolver_count
         self.planetlab_count = planetlab_count
 
+    def run_service(self, service: str, world: Optional[SimulatedWorld] = None) -> DiscoveryReport:
+        """Discover one service's front-end infrastructure.
+
+        When no ``world`` is supplied, a fresh one is built for just that
+        service.  The world builders are deterministic functions of the
+        resolver/vantage-point counts and a service's DNS records do not
+        depend on which other services share the world, so a single-service
+        world yields the exact same report as the full campaign world —
+        which is what lets the campaign engine run discovery cells in
+        parallel.
+        """
+        world = world if world is not None else build_world(
+            [service], resolver_count=self.resolver_count, planetlab_count=self.planetlab_count
+        )
+        profile = get_profile(service)
+        hostnames = [name for name in profile.all_hostnames if world.dns.has_record(name)]
+        return world.discovery.discover(service, hostnames)
+
     def run(self, world: Optional[SimulatedWorld] = None) -> DataCenterResult:
         """Discover every configured service's front-end infrastructure."""
         world = world if world is not None else build_world(
@@ -139,7 +157,5 @@ class DataCenterExperiment:
         )
         result = DataCenterResult()
         for service in self.services:
-            profile = get_profile(service)
-            hostnames = [name for name in profile.all_hostnames if world.dns.has_record(name)]
-            result.reports[service] = world.discovery.discover(service, hostnames)
+            result.reports[service] = self.run_service(service, world)
         return result

@@ -115,11 +115,22 @@ class PerformanceExperiment:
         controller.end_session()
         return metrics
 
+    def run_service(self, service: str) -> List[PerformanceMetrics]:
+        """Every (workload, repetition) run for one service, in run order.
+
+        Seeds are derived per (service, workload), so one service's runs are
+        independent of which other services are benchmarked — the campaign
+        engine relies on this to fan services out over worker processes.
+        """
+        runs: List[PerformanceMetrics] = []
+        for workload in self.workloads:
+            for repetition in range(self.repetitions):
+                runs.append(self.run_single(service, workload, repetition))
+        return runs
+
     def run(self) -> PerformanceResult:
         """Run every (service, workload, repetition) combination."""
         result = PerformanceResult()
         for service in self.services:
-            for workload in self.workloads:
-                for repetition in range(self.repetitions):
-                    result.runs.append(self.run_single(service, workload, repetition))
+            result.runs.extend(self.run_service(service))
         return result

@@ -2,8 +2,14 @@
 
 :class:`BenchmarkSuite` strings together the capability matrix (Table 1) and
 the six figure experiments, with knobs to trade fidelity (repetitions,
-resolver counts, idle duration) against runtime.  It is what the command
-line interface and the ``examples/full_campaign.py`` script drive.
+resolver counts, idle duration) against runtime.  It is what the
+``cloudbench all`` command line drives.
+
+Since every (stage, service) pair is an independent simulation, the suite
+delegates execution to the cell-based
+:class:`~repro.core.campaign.CampaignRunner`, which can fan the cells out
+over a process pool (``jobs``) while producing bit-identical results to a
+sequential run.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.campaign import STAGES, CampaignConfig, CampaignResult, CampaignRunner
 from repro.core.capabilities import CapabilityMatrix, CapabilityProber
 from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
 from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult
@@ -128,24 +135,28 @@ class BenchmarkSuite:
         return PerformanceExperiment(self.services, repetitions=self.repetitions, seed=self.seed).run()
 
     # Whole campaign -------------------------------------------------------- #
-    def run(self, stages: Optional[Sequence[str]] = None) -> SuiteResult:
+    def run_campaign(self, stages: Optional[Sequence[str]] = None, *, jobs: int = 1) -> CampaignResult:
+        """Run the requested stages through the campaign engine.
+
+        Returns the full :class:`~repro.core.campaign.CampaignResult`, which
+        carries per-cell wall-clock timings next to the merged suite.  Stage
+        names are validated up front: a typo raises
+        :class:`~repro.errors.ConfigurationError` listing the valid stages
+        instead of silently running nothing.
+        """
+        runner = CampaignRunner(
+            self.services,
+            stages if stages is not None else list(STAGES),
+            seed=self.seed,
+            jobs=jobs,
+            config=CampaignConfig(
+                repetitions=self.repetitions,
+                idle_duration=self.idle_duration,
+                resolver_count=self.resolver_count,
+            ),
+        )
+        return runner.run()
+
+    def run(self, stages: Optional[Sequence[str]] = None, *, jobs: int = 1) -> SuiteResult:
         """Run the requested stages (default: all of them) and collect the results."""
-        wanted = set(stages) if stages is not None else {
-            "capabilities", "idle", "datacenters", "syn_series", "delta", "compression", "performance",
-        }
-        result = SuiteResult()
-        if "capabilities" in wanted:
-            result.capabilities = self.run_capabilities()
-        if "idle" in wanted:
-            result.idle = self.run_idle()
-        if "datacenters" in wanted:
-            result.datacenters = self.run_datacenters()
-        if "syn_series" in wanted:
-            result.syn_series = self.run_syn_series()
-        if "delta" in wanted:
-            result.delta = self.run_delta()
-        if "compression" in wanted:
-            result.compression = self.run_compression()
-        if "performance" in wanted:
-            result.performance = self.run_performance()
-        return result
+        return self.run_campaign(stages, jobs=jobs).suite

@@ -274,7 +274,12 @@ class CloudStorageClient:
             raise ServiceError("sync_files() requires at least one file")
         started = self._sim.now
         self._local_processing_delay(files)
-        prepared = [self._prepare_file(file) for file in files]
+        # Digests scheduled for upload earlier in this same batch: a real
+        # deduplicating client hashes the whole batch before transferring,
+        # so identical chunks dedup against each other even though none of
+        # them has reached the server yet (§4.3).
+        batch_digests: set = set()
+        prepared = [self._prepare_file(file, batch_digests) for file in files]
         summary = self._upload_prepared(prepared)
         summary.started_at = started
         summary.finished_at = self._sim.now
@@ -322,8 +327,15 @@ class CloudStorageClient:
             size += ENCRYPTION_HEADER_BYTES
         return ChunkUpload(digest="", logical_bytes=len(piece), transmit_bytes=size, compressed=result.compressed)
 
-    def _prepare_file(self, file: GeneratedFile) -> PreparedFile:
-        """Apply chunking, deduplication, delta encoding and compression to one file."""
+    def _prepare_file(self, file: GeneratedFile, batch_digests: Optional[set] = None) -> PreparedFile:
+        """Apply chunking, deduplication, delta encoding and compression to one file.
+
+        ``batch_digests`` carries the chunk identities already scheduled for
+        upload earlier in the same batch, so duplicate chunks within one
+        ``sync_files()`` call deduplicate against each other instead of each
+        being uploaded in full (the server-side store only learns about them
+        in ``_finalize``, after the whole batch is transferred).
+        """
         caps = self.profile.capabilities
         content = file.content
         chunks = self._chunker.chunk(content)
@@ -334,7 +346,8 @@ class CloudStorageClient:
         for index, chunk in enumerate(chunks):
             piece = content[chunk.offset:chunk.offset + chunk.length]
             identity = self._chunk_identity(piece, chunk.digest)
-            if caps.deduplication and self.backend.has_chunk(identity):
+            already_in_batch = batch_digests is not None and identity in batch_digests
+            if caps.deduplication and (already_in_batch or self.backend.has_chunk(identity)):
                 uploads.append(ChunkUpload(digest=identity, logical_bytes=len(piece), transmit_bytes=0, duplicate=True))
                 continue
             if use_delta and index < len(old_chunks):
@@ -343,6 +356,8 @@ class CloudStorageClient:
                 upload = self._transmit_size(piece)
             upload.digest = identity
             uploads.append(upload)
+            if batch_digests is not None:
+                batch_digests.add(identity)
         return PreparedFile(file=file, chunk_uploads=uploads, used_delta=use_delta and any(u.via_delta for u in uploads))
 
     def _delta_upload(self, new_piece: bytes, old_content: bytes, old_chunk) -> ChunkUpload:

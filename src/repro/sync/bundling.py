@@ -54,11 +54,13 @@ class Bundle:
 
 
 class BundleBuilder:
-    """Packs entries into bundles bounded by a maximum payload size.
+    """Packs entries into bundles bounded by a maximum wire size.
 
-    ``max_bundle_bytes`` limits how much data a single bundle may carry; a
-    very large entry still gets a bundle of its own (it is never split here —
-    splitting is the chunker's job, which runs before bundling).
+    ``max_bundle_bytes`` limits how many bytes a single bundle may occupy on
+    the wire — entry payloads plus the fixed bundle framing and the
+    per-entry headers; a very large entry still gets a bundle of its own (it
+    is never split here — splitting is the chunker's job, which runs before
+    bundling).
     """
 
     def __init__(self, max_bundle_bytes: int = 8 * 1000 * 1000, max_entries: int = 10_000) -> None:
@@ -70,11 +72,23 @@ class BundleBuilder:
         self.max_entries = max_entries
 
     def pack(self, entries: Iterable[BundleEntry]) -> List[Bundle]:
-        """Group ``entries`` into bundles, preserving order."""
+        """Group ``entries`` into bundles, preserving order.
+
+        The cap is enforced on the *wire* size (payload + bundle framing +
+        per-entry headers), so a packed bundle never exceeds
+        ``max_bundle_bytes`` on the connection unless a single entry is
+        already larger than the cap on its own.
+        """
         bundles: List[Bundle] = []
         current = Bundle()
         for entry in entries:
-            over_size = current.entries and current.payload_size + entry.payload_size > self.max_bundle_bytes
+            wire_with_entry = (
+                current.payload_size
+                + entry.payload_size
+                + BUNDLE_OVERHEAD_BYTES
+                + ENTRY_OVERHEAD_BYTES * (len(current.entries) + 1)
+            )
+            over_size = current.entries and wire_with_entry > self.max_bundle_bytes
             over_count = len(current.entries) >= self.max_entries
             if over_size or over_count:
                 bundles.append(current)

@@ -1,0 +1,146 @@
+"""Tests for the parallel cell-based campaign engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.campaign import (
+    STAGES,
+    CampaignCell,
+    CampaignConfig,
+    CampaignRunner,
+    default_jobs,
+    merge_cell_results,
+    run_cell,
+    suite_stage_rows,
+)
+from repro.core.runner import BenchmarkSuite
+from repro.errors import ConfigurationError
+
+#: A cheap but representative campaign: two services, three stages.
+SERVICES = ["dropbox", "googledrive"]
+STAGE_SUBSET = ["idle", "syn_series", "performance"]
+CONFIG = CampaignConfig(repetitions=1, idle_duration=60.0, resolver_count=50)
+
+
+class TestCampaignPlan:
+    def test_cells_are_stage_major_and_deterministic(self):
+        runner = CampaignRunner(SERVICES, STAGE_SUBSET, config=CONFIG)
+        cells = runner.cells()
+        assert [cell.stage for cell in cells] == ["idle", "idle", "syn_series", "performance", "performance"]
+        assert cells == runner.cells()  # planning is a pure function
+
+    def test_syn_series_cells_restricted_to_paper_services(self):
+        cells = CampaignRunner(["dropbox", "wuala"], ["syn_series"], config=CONFIG).cells()
+        # Neither plotted service selected: fall back to the requested ones.
+        assert [cell.service for cell in cells] == ["dropbox", "wuala"]
+        cells = CampaignRunner(["dropbox", "clouddrive"], ["syn_series"], config=CONFIG).cells()
+        assert [cell.service for cell in cells] == ["clouddrive"]
+
+    def test_cells_carry_the_campaign_seed(self):
+        # Cells keep the campaign seed undiluted; independence of the
+        # per-cell random streams comes from the experiments deriving
+        # (seed, service, ...)-keyed streams internally.
+        cells = CampaignRunner(SERVICES, ["idle", "performance"], seed=123, config=CONFIG).cells()
+        assert {cell.seed for cell in cells} == {123}
+
+    def test_campaign_matches_standalone_experiment_for_same_seed(self):
+        # Regression: cells used to re-derive their seeds, so the delta/
+        # compression/connections sections of `cloudbench all --seed N`
+        # disagreed with the standalone subcommands at the same seed.
+        from repro.core.experiments.synseries import SynSeriesExperiment
+
+        campaign = CampaignRunner(["googledrive"], ["syn_series"], seed=99, jobs=1, config=CONFIG).run()
+        standalone = SynSeriesExperiment(["googledrive"], seed=99).run()
+        assert campaign.suite.syn_series.rows() == standalone.rows()
+
+    def test_stage_order_is_canonical_regardless_of_request_order(self):
+        runner = CampaignRunner(SERVICES, ["performance", "idle"], config=CONFIG)
+        assert runner.stages == ["idle", "performance"]
+
+    def test_unknown_stage_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="preformance"):
+            CampaignRunner(SERVICES, ["preformance"], config=CONFIG)
+        with pytest.raises(ConfigurationError, match="valid stages"):
+            CampaignRunner(SERVICES, ["idle", "bogus"], config=CONFIG)
+
+    def test_default_jobs_is_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestCampaignExecution:
+    @pytest.fixture(scope="class")
+    def sequential(self):
+        return CampaignRunner(SERVICES, STAGE_SUBSET, jobs=1, config=CONFIG).run()
+
+    def test_run_cell_times_and_returns_payload(self):
+        cell = CampaignRunner(SERVICES, ["idle"], config=CONFIG).cells()[0]
+        result = run_cell(cell)
+        assert result.cell == cell
+        assert result.wall_seconds > 0
+        assert result.payload.service == cell.service
+        assert result.rows() and result.rows()[0]["service"] == cell.service
+
+    def test_run_cell_rejects_unknown_stage(self):
+        with pytest.raises(ConfigurationError):
+            run_cell(CampaignCell(stage="bogus", service="dropbox", seed=1))
+
+    def test_merge_preserves_service_order(self, sequential):
+        suite = sequential.suite
+        assert list(suite.idle.services) == SERVICES
+        assert suite.syn_series is not None and suite.performance is not None
+        assert [run.service for run in suite.performance.runs] == ["dropbox"] * 4 + ["googledrive"] * 4
+
+    def test_parallel_equals_sequential_bit_identical(self, sequential):
+        parallel = CampaignRunner(SERVICES, STAGE_SUBSET, jobs=4, config=CONFIG).run()
+        assert parallel.jobs == 4
+        assert suite_stage_rows(parallel.suite) == suite_stage_rows(sequential.suite)
+        assert parallel.suite.summary_text() == sequential.suite.summary_text()
+
+    def test_rerun_with_same_seed_is_reproducible(self, sequential):
+        again = CampaignRunner(SERVICES, STAGE_SUBSET, jobs=1, config=CONFIG).run()
+        assert suite_stage_rows(again.suite) == suite_stage_rows(sequential.suite)
+
+    def test_timing_rows_cover_every_cell(self, sequential):
+        rows = sequential.timing_rows()
+        assert len(rows) == len(sequential.cells) == 5
+        assert all(row["wall_s"] >= 0 for row in rows)
+        assert sequential.cpu_seconds() == pytest.approx(
+            sum(cell.wall_seconds for cell in sequential.cells)
+        )
+
+    def test_json_dict_is_serializable_with_per_cell_rows(self, sequential):
+        payload = sequential.to_json_dict()
+        text = json.dumps(payload, default=str)
+        decoded = json.loads(text)
+        assert decoded["jobs"] == 1
+        assert decoded["stages"] == STAGE_SUBSET  # canonical stage order
+        assert decoded["services"] == SERVICES
+        assert len(decoded["cells"]) == 5
+        for cell in decoded["cells"]:
+            assert cell["wall_seconds"] >= 0
+            assert cell["rows"]
+
+    def test_merge_cell_results_rebuilds_suite(self, sequential):
+        rebuilt = merge_cell_results(sequential.cells)
+        assert suite_stage_rows(rebuilt) == suite_stage_rows(sequential.suite)
+
+
+class TestSuiteIntegration:
+    def test_benchmark_suite_runs_through_engine(self):
+        suite = BenchmarkSuite(SERVICES, repetitions=1, idle_duration=60.0, resolver_count=50)
+        campaign = suite.run_campaign(stages=["idle"], jobs=1)
+        assert campaign.suite.idle is not None
+        assert [cell.cell.stage for cell in campaign.cells] == ["idle", "idle"]
+
+    def test_suite_run_rejects_stage_typo(self):
+        suite = BenchmarkSuite(SERVICES, repetitions=1, idle_duration=60.0, resolver_count=50)
+        with pytest.raises(ConfigurationError, match="valid stages"):
+            suite.run(stages=["preformance"])
+
+    def test_all_stage_names_runnable(self):
+        # Every advertised stage has a registered runner.
+        runner = CampaignRunner(["dropbox"], list(STAGES), config=CONFIG)
+        assert [cell.stage for cell in runner.cells()] == list(STAGES)

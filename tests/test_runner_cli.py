@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core.runner import BenchmarkSuite, SuiteResult
+from repro.errors import ConfigurationError
 
 
 class TestBenchmarkSuite:
@@ -35,6 +38,18 @@ class TestBenchmarkSuite:
         assert set(series) == {"dropbox", "googledrive"}
         text = result.summary_text()
         assert "Fig. 6b" in text
+
+    def test_misspelled_stage_raises_instead_of_running_nothing(self, small_suite):
+        # Regression: run(stages=["preformance"]) used to silently run no
+        # stage at all and return an empty SuiteResult.
+        with pytest.raises(ConfigurationError) as excinfo:
+            small_suite.run(stages=["preformance"])
+        assert "performance" in str(excinfo.value)  # the valid names are listed
+
+    def test_run_accepts_jobs_parameter(self, small_suite):
+        sequential = small_suite.run(stages=["idle"], jobs=1)
+        parallel = small_suite.run(stages=["idle"], jobs=2)
+        assert sequential.idle.rows() == parallel.idle.rows()
 
 
 class TestCLI:
@@ -69,3 +84,43 @@ class TestCLI:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Fig. 6a" in captured and "Fig. 6c" in captured
+
+    def test_all_command_writes_one_csv_per_stage(self, tmp_path, capsys):
+        # Regression: `cloudbench all --csv` used to write only the
+        # performance rows; now every completed stage gets its own CSV.
+        csv_path = tmp_path / "results.csv"
+        exit_code = main(
+            [
+                "--services", "googledrive", "--csv", str(csv_path),
+                "all", "--stages", "idle,performance", "--minutes", "1", "--repetitions", "1", "--jobs", "1",
+            ]
+        )
+        assert exit_code == 0
+        idle_csv = tmp_path / "results.idle.csv"
+        performance_csv = tmp_path / "results.performance.csv"
+        assert idle_csv.exists() and performance_csv.exists()
+        assert idle_csv.read_text().splitlines()[0].startswith("service,")
+        assert "googledrive" in performance_csv.read_text()
+        out = capsys.readouterr().out
+        assert str(idle_csv) in out and str(performance_csv) in out
+
+    def test_all_command_emits_timing_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "campaign.json"
+        exit_code = main(
+            [
+                "--services", "googledrive", "--seed", "3",
+                "all", "--stages", "idle", "--minutes", "1", "--jobs", "1", "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Campaign timing (jobs=1)" in out
+        assert "total wall-clock" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["seed"] == 3 and payload["jobs"] == 1
+        assert [cell["stage"] for cell in payload["cells"]] == ["idle"]
+        assert payload["cells"][0]["rows"][0]["service"] == "googledrive"
+
+    def test_all_command_rejects_unknown_stage(self):
+        with pytest.raises(SystemExit):
+            main(["--services", "googledrive", "all", "--stages", "preformance"])

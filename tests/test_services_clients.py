@@ -96,6 +96,19 @@ class TestDropbox:
         assert replica_summary.chunks_deduplicated >= 1
         assert replica_summary.transmitted_payload_bytes == 0
 
+    def test_deduplicates_identical_files_within_one_batch(self):
+        # Regression: duplicates used to dedup only against *previously
+        # synchronized* batches, so a batch containing two identical files
+        # uploaded both copies in full (§4.3).
+        _, _, client = make_client("dropbox")
+        original = generate_binary(200 * KB, name="folder1/original.bin")
+        summary = client.sync_files([original, original.renamed("folder2/copy.bin")])
+        assert summary.chunks_uploaded >= 1
+        assert summary.chunks_deduplicated >= 1
+        assert summary.transmitted_payload_bytes <= 205 * KB  # one copy, not two
+        # Both namespace entries still commit against the shared chunks.
+        assert len(client.backend.list_files(client.user)) == 2
+
     def test_delta_encoding_on_append(self):
         _, _, client = make_client("dropbox")
         base = generate_binary(1 * MB, name="delta.bin", seed=11)
@@ -152,6 +165,15 @@ class TestCloudDrive:
         assert summary.chunks_deduplicated == 0
         assert summary.transmitted_payload_bytes >= 100 * KB
 
+    def test_no_intra_batch_deduplication_either(self):
+        # A service without the dedup capability uploads both identical
+        # copies even when they arrive in the same batch.
+        _, _, client = make_client("clouddrive")
+        original = generate_binary(100 * KB, name="one.bin")
+        summary = client.sync_files([original, original.renamed("two.bin")])
+        assert summary.chunks_deduplicated == 0
+        assert summary.transmitted_payload_bytes >= 200 * KB
+
     def test_polling_opens_new_connection_every_15s(self):
         simulator, sniffer, client = make_client("clouddrive")
         client.start_polling()
@@ -190,6 +212,15 @@ class TestWuala:
         summary = client.sync_files([original.renamed("enc/two.bin")])
         assert summary.chunks_deduplicated >= 1
         assert summary.transmitted_payload_bytes == 0
+
+    def test_convergent_encryption_deduplicates_within_a_batch(self):
+        # Convergent encryption produces identical ciphertexts for identical
+        # plaintexts, so intra-batch dedup works on ciphertext digests too.
+        _, _, client = make_client("wuala")
+        original = generate_binary(300 * KB, name="enc/one.bin")
+        summary = client.sync_files([original, original.renamed("enc/two.bin")])
+        assert summary.chunks_deduplicated >= 1
+        assert summary.transmitted_payload_bytes <= 310 * KB
 
     def test_restore_after_delete_is_deduplicated(self):
         _, _, client = make_client("wuala")

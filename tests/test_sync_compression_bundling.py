@@ -62,9 +62,25 @@ class TestCompression:
 
 class TestBundling:
     def test_pack_respects_size_limit(self):
-        builder = BundleBuilder(max_bundle_bytes=1_000)
+        # Two 400 B entries fit (wire: 800 + 256 + 2*64 = 1184 <= 1200); a
+        # third would push the wire size over the cap.
+        builder = BundleBuilder(max_bundle_bytes=1_200)
         bundles = builder.pack_sizes([400, 400, 400, 400])
         assert [len(bundle) for bundle in bundles] == [2, 2]
+
+    def test_pack_caps_wire_size_not_payload_size(self):
+        # Regression: the cap used to apply to the payload alone, so bundles
+        # could exceed max_bundle_bytes on the wire once framing was added.
+        builder = BundleBuilder(max_bundle_bytes=1_000)
+        bundles = builder.pack_sizes([400, 400, 400, 400])
+        assert all(bundle.wire_size <= 1_000 for bundle in bundles)
+        assert [len(bundle) for bundle in bundles] == [1, 1, 1, 1]
+
+    def test_pack_wire_cap_counts_per_entry_overhead(self):
+        # 10 zero-payload entries cost 256 + 10*64 = 896 wire bytes; an
+        # 896 B cap takes exactly 10 per bundle, one byte less takes 9.
+        assert [len(b) for b in BundleBuilder(max_bundle_bytes=896).pack_sizes([0] * 20)] == [10, 10]
+        assert [len(b) for b in BundleBuilder(max_bundle_bytes=895).pack_sizes([0] * 20)] == [9, 9, 2]
 
     def test_pack_respects_entry_limit(self):
         builder = BundleBuilder(max_bundle_bytes=10_000, max_entries=3)
