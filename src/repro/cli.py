@@ -17,12 +17,22 @@ its own stage-tagged CSV (``results.csv`` becomes ``results.idle.csv``,
 ``results.performance.csv``, ...), not just the performance rows.
 
 ``cloudbench all`` runs through the parallel campaign engine
-(:mod:`repro.core.campaign`): every (stage, service) cell is an independent
-simulation, fanned out over ``--jobs N`` worker processes (default: one per
-CPU).  Results are bit-identical for any ``--jobs`` value given the same
-``--seed``; a per-cell wall-clock table quantifies the speedup,
-``--stages`` selects a subset of campaign stages, and ``--json PATH``
-writes the machine-readable per-cell results and timings.
+(:mod:`repro.core.campaign`): every (stage, service, unit) cell — e.g.
+*performance × dropbox × 1x100kB* — is an independent simulation, fanned
+out over ``--jobs N`` worker processes (default: one per CPU).  Results are
+bit-identical for any ``--jobs`` value given the same ``--seed``; a
+per-cell wall-clock table quantifies the speedup, ``--stages`` selects a
+subset of campaign stages, and ``--json PATH`` writes the machine-readable
+per-cell results and timings.
+
+``--cache-dir DIR`` attaches the persistent result store
+(:mod:`repro.core.store`): cells already computed for the same (stage,
+service, unit, seed, config) identity are loaded instead of re-run, fresh
+cells are saved as they complete, and the timing table reports per-cell
+hits.  ``--resume`` continues an interrupted or extended campaign from the
+store (defaulting ``--cache-dir`` to ``.cloudbench-cache``): more seeds,
+stages or repetitions only compute the missing cells, and cached plus
+fresh cells merge into a bit-identical summary.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.campaign import STAGES, default_jobs, suite_stage_rows
+from repro.core.store import DEFAULT_CACHE_DIR
 from repro.core.experiments.compression import CompressionExperiment
 from repro.core.experiments.datacenters import DataCenterExperiment
 from repro.core.experiments.delta import DeltaEncodingExperiment
@@ -113,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write machine-readable per-cell results and timings to this JSON file",
     )
+    everything.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        help=(
+            "persistent result store: cells already computed for the same "
+            "(stage, service, unit, seed, config) are loaded instead of re-run, "
+            "fresh cells are saved as they complete"
+        ),
+    )
+    everything.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted or extended campaign from the result store "
+            f"(implies --cache-dir {DEFAULT_CACHE_DIR} when none is given)"
+        ),
+    )
     return parser
 
 
@@ -157,10 +186,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         matrix = CapabilityProber(seed=args.seed).build_matrix(services)
         _emit(matrix.rows(), render_table(matrix.rows(), title="Table 1 - capabilities"), args.csv)
     elif args.command == "idle":
-        result = IdleExperiment(services, duration=minutes(args.minutes)).run()
+        result = IdleExperiment(services, duration=minutes(args.minutes), seed=args.seed).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 1 - idle/background traffic"), args.csv)
     elif args.command == "datacenters":
-        result = DataCenterExperiment(services, resolver_count=args.resolvers).run()
+        result = DataCenterExperiment(services, resolver_count=args.resolvers, seed=args.seed).run()
         text = render_table(result.rows(), title="Fig. 2 / Sec. 3.2 - data centers")
         edges = result.google_edge_sites()
         if edges:
@@ -200,10 +229,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
         )
         stages = None
-        if args.stages:
+        if args.stages is not None:
             stages = [name.strip() for name in args.stages.split(",") if name.strip()]
+            if not stages:
+                parser.error(f"--stages selects no stage; valid stages: {', '.join(STAGES)}")
+        cache_dir = args.cache_dir
+        if args.resume and cache_dir is None:
+            cache_dir = DEFAULT_CACHE_DIR
         try:
-            campaign = suite.run_campaign(stages, jobs=jobs)
+            campaign = suite.run_campaign(stages, jobs=jobs, cache_dir=cache_dir)
         except ConfigurationError as error:
             parser.error(str(error))
         result = campaign.suite
@@ -215,6 +249,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{campaign.cpu_seconds():.2f} s of cell work "
             f"({campaign.cpu_seconds() / max(campaign.wall_seconds, 1e-9):.2f}x)"
         )
+        if cache_dir is not None:
+            total = len(campaign.cells)
+            ratio = campaign.cache_hits() / total if total else 0.0
+            print(
+                f"result store {cache_dir}: {campaign.cache_hits()} hits, "
+                f"{campaign.cache_misses()} misses ({ratio:.0%} cached)"
+            )
         if args.csv:
             for path in _write_stage_csvs(args.csv, suite_stage_rows(result)):
                 print(f"CSV written to {path}")

@@ -1,53 +1,66 @@
-"""Parallel, cell-based campaign engine.
+"""Parallel, cell-based campaign engine over hierarchical unit cells.
 
 The paper's campaign (Table 1 plus Figs. 1-6 across five services) is a grid
-of independent simulations: every (stage, service) pair runs on its own
-fresh testbed, so no cell can observe another.  This module makes that grid
-explicit:
+of independent simulations.  This module makes that grid explicit — and
+fine-grained:
 
-* :class:`CampaignCell` — one stage × one service, plus the seed and the
-  knobs (repetitions, idle duration, resolver count) it needs to run;
+* :class:`CampaignCell` — one (stage, service, *unit*) coordinate plus the
+  seed and the knobs (repetitions, idle duration, resolver count) it needs
+  to run.  A *unit* is a stage's natural sub-division: the performance
+  stage schedules one cell per (service, workload), the delta stage one per
+  modification pattern (append vs. random offset), the compression stage
+  one per content class; stages without natural sub-units keep a single
+  whole-service unit (:data:`WHOLE_SERVICE_UNIT`).
 * :func:`run_cell` — executes one cell and times it (a module-level function
   so cells can be shipped to ``concurrent.futures`` worker processes);
 * :class:`CampaignRunner` — plans the cell grid, fans it out over a process
   pool (``jobs`` workers) and merges the per-cell payloads back into the
   exact :class:`~repro.core.runner.SuiteResult` the sequential runner used
   to produce, so ``summary_text()`` and every table/figure renderer are
-  untouched.
+  untouched.  Given a :class:`~repro.core.store.ResultStore`, the runner
+  consults the store before dispatching: already-computed cells are loaded,
+  fresh cells are persisted as they complete, and an interrupted or
+  extended campaign resumes incrementally — cached and freshly-computed
+  cells merge into a bit-identical suite.
 
 Determinism: every cell carries the campaign seed, and each experiment
 derives its random streams from ``(seed, service, ...)`` labels
 (:func:`repro.randomness.derive_seed`), so a cell's output is a pure
-function of its (stage, service, seed, config) identity — independent of
-scheduling, of which other cells run, and of whether they run in the same
-process.  Merging happens in plan order, never completion order.
+function of its (stage, service, unit, seed, config) identity — independent
+of scheduling, of which other cells run, and of whether they run in the
+same process.  That purity is exactly what makes the identity usable as a
+cache key.  Merging happens in plan order, never completion order.
 ``jobs=4`` therefore produces results bit-identical to ``jobs=1``, which in
-turn are bit-identical to the standalone per-stage commands and to the
-pre-engine sequential suite for the same seed.
+turn are bit-identical to the standalone per-stage commands and to a
+cache-served re-run for the same seed.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.capabilities import CapabilityMatrix, CapabilityProber
-from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
+from repro.core.experiments.compression import CONTENT_CLASSES, CompressionExperiment, CompressionExperimentResult
 from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult
-from repro.core.experiments.delta import DeltaEncodingExperiment, DeltaResult
+from repro.core.experiments.delta import DELTA_CASES, DeltaEncodingExperiment, DeltaResult
 from repro.core.experiments.idle import IdleExperiment, IdleResult
 from repro.core.experiments.performance import PerformanceExperiment, PerformanceResult
 from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
+from repro.core.store import ResultStore
+from repro.core.workloads import PAPER_WORKLOADS, workload_by_name
 from repro.errors import ConfigurationError
+from repro.filegen.model import FileKind
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.units import minutes
 
 __all__ = [
     "STAGES",
+    "WHOLE_SERVICE_UNIT",
     "CampaignConfig",
     "CampaignCell",
     "CellResult",
@@ -61,6 +74,9 @@ __all__ = [
 
 #: Fig. 3 is only plotted for the two services with per-file connections.
 SYN_SERIES_SERVICES = ("clouddrive", "googledrive")
+
+#: Unit label of stages that schedule one cell per whole service.
+WHOLE_SERVICE_UNIT = "-"
 
 
 def default_jobs() -> int:
@@ -80,35 +96,62 @@ class CampaignConfig:
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One independently schedulable unit: one stage for one service."""
+    """One independently schedulable unit: one stage × service × unit.
+
+    ``unit`` is the stage's sub-division label (a workload name, a delta
+    case, a content class) or :data:`WHOLE_SERVICE_UNIT` for stages that
+    run whole-service cells.
+    """
 
     stage: str
     service: str
     seed: int
+    unit: str = WHOLE_SERVICE_UNIT
     config: CampaignConfig = field(default_factory=CampaignConfig)
 
     @property
     def key(self) -> str:
-        """Stable identifier, e.g. ``"performance/dropbox"``."""
-        return f"{self.stage}/{self.service}"
+        """Stable identifier, e.g. ``"performance/dropbox/1x100kB"``."""
+        if self.unit == WHOLE_SERVICE_UNIT:
+            return f"{self.stage}/{self.service}"
+        return f"{self.stage}/{self.service}/{self.unit}"
 
 
 # --------------------------------------------------------------------------- #
-# Stage registry: per-cell runner + SuiteResult merge rules, in one place
+# Stage registry: unit planner + per-cell runner + SuiteResult merge rules
 # --------------------------------------------------------------------------- #
+def _single_unit(config: CampaignConfig) -> Sequence[str]:
+    return (WHOLE_SERVICE_UNIT,)
+
+
+def _performance_units(config: CampaignConfig) -> Sequence[str]:
+    return tuple(workload.name for workload in PAPER_WORKLOADS)
+
+
+def _delta_units(config: CampaignConfig) -> Sequence[str]:
+    return tuple(DELTA_CASES)
+
+
+def _compression_units(config: CampaignConfig) -> Sequence[str]:
+    return tuple(kind.value for kind in CONTENT_CLASSES)
+
+
 @dataclass(frozen=True)
 class _StageSpec:
     """Everything the engine needs to know about one campaign stage.
 
     ``name`` doubles as the :class:`~repro.core.runner.SuiteResult`
-    attribute holding the stage's merged container.  Adding a stage means
-    adding exactly one spec (plus the ``SuiteResult`` field).
+    attribute holding the stage's merged container.  ``units`` is the
+    stage's planner: the sub-unit labels one service splits into (most
+    stages have a single whole-service unit).  Adding a stage means adding
+    exactly one spec (plus the ``SuiteResult`` field).
     """
 
     name: str
     run: Callable[[CampaignCell], Any]
     empty: Callable[[Any], Any]  # payload -> fresh merged-stage container
     fold: Callable[[Any, CampaignCell, Any], None]  # container, cell, payload
+    units: Callable[[CampaignConfig], Sequence[str]] = _single_unit
 
 
 def _run_capabilities(cell: CampaignCell) -> Any:
@@ -116,7 +159,8 @@ def _run_capabilities(cell: CampaignCell) -> Any:
 
 
 def _run_idle(cell: CampaignCell) -> Any:
-    return IdleExperiment([cell.service], duration=cell.config.idle_duration).run_service(cell.service)
+    experiment = IdleExperiment([cell.service], duration=cell.config.idle_duration, seed=cell.seed)
+    return experiment.run_service(cell.service)
 
 
 def _run_datacenters(cell: CampaignCell) -> Any:
@@ -124,6 +168,7 @@ def _run_datacenters(cell: CampaignCell) -> Any:
         [cell.service],
         resolver_count=cell.config.resolver_count,
         planetlab_count=cell.config.planetlab_count,
+        seed=cell.seed,
     )
     return experiment.run_service(cell.service)
 
@@ -133,16 +178,24 @@ def _run_syn_series(cell: CampaignCell) -> Any:
 
 
 def _run_delta(cell: CampaignCell) -> Any:
-    return DeltaEncodingExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+    experiment = DeltaEncodingExperiment([cell.service], seed=cell.seed)
+    if cell.unit == WHOLE_SERVICE_UNIT:
+        return experiment.run_service(cell.service)
+    return experiment.run_case(cell.service, cell.unit)
 
 
 def _run_compression(cell: CampaignCell) -> Any:
-    return CompressionExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+    experiment = CompressionExperiment([cell.service], seed=cell.seed)
+    if cell.unit == WHOLE_SERVICE_UNIT:
+        return experiment.run_service(cell.service)
+    return experiment.run_kind(cell.service, FileKind(cell.unit))
 
 
 def _run_performance(cell: CampaignCell) -> Any:
     experiment = PerformanceExperiment([cell.service], repetitions=cell.config.repetitions, seed=cell.seed)
-    return experiment.run_service(cell.service)
+    if cell.unit == WHOLE_SERVICE_UNIT:
+        return experiment.run_service(cell.service)
+    return experiment.run_pair(cell.service, workload_by_name(cell.unit))
 
 
 def _fold_matrix(container: CapabilityMatrix, cell: CampaignCell, payload: Any) -> None:
@@ -172,9 +225,15 @@ _STAGE_SPECS: Dict[str, _StageSpec] = {
         _StageSpec("idle", _run_idle, lambda payload: IdleResult(duration=payload.duration), _fold_service_map),
         _StageSpec("datacenters", _run_datacenters, lambda payload: DataCenterResult(), _fold_report),
         _StageSpec("syn_series", _run_syn_series, lambda payload: SynSeriesResult(), _fold_service_map),
-        _StageSpec("delta", _run_delta, lambda payload: DeltaResult(), _fold_points),
-        _StageSpec("compression", _run_compression, lambda payload: CompressionExperimentResult(), _fold_points),
-        _StageSpec("performance", _run_performance, lambda payload: PerformanceResult(), _fold_runs),
+        _StageSpec("delta", _run_delta, lambda payload: DeltaResult(), _fold_points, _delta_units),
+        _StageSpec(
+            "compression",
+            _run_compression,
+            lambda payload: CompressionExperimentResult(),
+            _fold_points,
+            _compression_units,
+        ),
+        _StageSpec("performance", _run_performance, lambda payload: PerformanceResult(), _fold_runs, _performance_units),
     )
 }
 
@@ -196,11 +255,17 @@ def _spec(stage: str) -> _StageSpec:
 # --------------------------------------------------------------------------- #
 @dataclass
 class CellResult:
-    """One cell's payload plus its wall-clock cost."""
+    """One cell's payload plus its wall-clock cost and cache provenance.
+
+    ``cached`` is ``True`` when the payload was served from a
+    :class:`~repro.core.store.ResultStore` rather than computed;
+    ``wall_seconds`` then still reports the *original* compute time.
+    """
 
     cell: CampaignCell
     payload: Any
     wall_seconds: float
+    cached: bool = False
 
     def rows(self) -> List[dict]:
         """This cell's result rendered as flat report rows."""
@@ -234,7 +299,9 @@ class CampaignResult:
             {
                 "stage": result.cell.stage,
                 "service": result.cell.service,
+                "unit": result.cell.unit,
                 "wall_s": round(result.wall_seconds, 3),
+                "cached": "yes" if result.cached else "no",
             }
             for result in self.cells
         ]
@@ -242,6 +309,14 @@ class CampaignResult:
     def cpu_seconds(self) -> float:
         """Sum of per-cell wall clocks: the sequential-equivalent runtime."""
         return sum(result.wall_seconds for result in self.cells)
+
+    def cache_hits(self) -> int:
+        """Number of cells served from the result store."""
+        return sum(1 for result in self.cells if result.cached)
+
+    def cache_misses(self) -> int:
+        """Number of cells actually computed this run."""
+        return sum(1 for result in self.cells if not result.cached)
 
     def to_json_dict(self) -> dict:
         """Machine-readable campaign record: per-cell rows and timings."""
@@ -252,10 +327,13 @@ class CampaignResult:
             "services": list(dict.fromkeys(result.cell.service for result in self.cells)),
             "wall_seconds": round(self.wall_seconds, 3),
             "cell_cpu_seconds": round(self.cpu_seconds(), 3),
+            "cache": {"hits": self.cache_hits(), "misses": self.cache_misses()},
             "cells": [
                 {
                     "stage": result.cell.stage,
                     "service": result.cell.service,
+                    "unit": result.cell.unit,
+                    "cached": result.cached,
                     "wall_seconds": round(result.wall_seconds, 3),
                     "rows": result.rows(),
                 }
@@ -268,7 +346,7 @@ class CampaignResult:
 # Planning, fan-out and merging
 # --------------------------------------------------------------------------- #
 class CampaignRunner:
-    """Plan the (stage, service) grid, fan it out and merge the results."""
+    """Plan the (stage, service, unit) grid, fan it out and merge the results."""
 
     def __init__(
         self,
@@ -278,6 +356,7 @@ class CampaignRunner:
         seed: int = DEFAULT_SEED,
         jobs: Optional[int] = None,
         config: Optional[CampaignConfig] = None,
+        store: Optional[ResultStore] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         wanted = list(stages) if stages is not None else list(STAGES)
@@ -291,20 +370,28 @@ class CampaignRunner:
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.seed = seed
         self.config = config if config is not None else CampaignConfig()
+        self.store = store
 
     def cells(self) -> List[CampaignCell]:
-        """The campaign plan: one cell per (stage, service), stage-major.
+        """The campaign plan: one cell per (stage, service, unit), stage-major.
 
         Every cell carries the campaign seed; the per-cell random streams
         are nevertheless independent because each experiment derives them
         from ``(seed, service, ...)`` labels.  Keeping the seed undiluted
         means a single-stage campaign reproduces the standalone experiment
-        (and the standalone CLI subcommand) bit-for-bit.
+        (and the standalone CLI subcommand) bit-for-bit.  Within one
+        (stage, service), units appear in the stage's canonical order, so
+        folding in plan order reproduces the sequential run order exactly.
         """
         plan: List[CampaignCell] = []
         for stage in self.stages:
+            spec = _spec(stage)
+            units = spec.units(self.config)
             for service in self._stage_services(stage):
-                plan.append(CampaignCell(stage=stage, service=service, seed=self.seed, config=self.config))
+                for unit in units:
+                    plan.append(
+                        CampaignCell(stage=stage, service=service, seed=self.seed, unit=unit, config=self.config)
+                    )
         return plan
 
     def _stage_services(self, stage: str) -> List[str]:
@@ -313,31 +400,56 @@ class CampaignRunner:
         return list(self.services)
 
     def run(self) -> CampaignResult:
-        """Execute every cell (in parallel for ``jobs > 1``) and merge."""
+        """Execute every cell (in parallel for ``jobs > 1``) and merge.
+
+        With a result store attached, cells already in the store are loaded
+        instead of dispatched, and freshly computed cells are persisted *as
+        they complete* — so an interrupted campaign loses at most the cells
+        still in flight and ``--resume`` picks up from the survivors.
+        """
         plan = self.cells()
         started = time.perf_counter()
-        if self.jobs == 1 or len(plan) <= 1:
-            results = [run_cell(cell) for cell in plan]
+        results: List[Optional[CellResult]] = [None] * len(plan)
+        pending: List[int] = []
+        for index, cell in enumerate(plan):
+            hit = self.store.load(cell) if self.store is not None else None
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = self._completed(run_cell(plan[index]))
         else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(plan))) as pool:
-                # ``map`` preserves plan order regardless of completion order.
-                results = list(pool.map(run_cell, plan))
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                futures = {pool.submit(run_cell, plan[index]): index for index in pending}
+                # Persist in completion order (resume granularity); results
+                # land by plan index, so merging stays in plan order.
+                for future in as_completed(futures):
+                    results[futures[future]] = self._completed(future.result())
         wall = time.perf_counter() - started
+        completed = [result for result in results if result is not None]
         return CampaignResult(
-            suite=merge_cell_results(results),
-            cells=results,
+            suite=merge_cell_results(completed),
+            cells=completed,
             seed=self.seed,
             jobs=self.jobs,
             wall_seconds=wall,
         )
+
+    def _completed(self, result: CellResult) -> CellResult:
+        if self.store is not None:
+            self.store.save(result)
+        return result
 
 
 def merge_cell_results(results: Sequence[CellResult]) -> "SuiteResult":
     """Fold per-cell payloads back into the sequential-era ``SuiteResult``.
 
     ``results`` must be in plan order (stage-major, services in campaign
-    order); the merged per-stage containers then list services exactly as
-    the old sequential loops did.
+    order, units in stage order); the merged per-stage containers then list
+    services and rows exactly as the old sequential loops did — regardless
+    of whether each payload was computed this run or loaded from the store.
     """
     from repro.core.runner import SuiteResult  # local import: runner builds on this module
 

@@ -96,23 +96,36 @@ class CompressionExperiment:
         self.kinds = list(kinds) if kinds is not None else list(CONTENT_CLASSES)
         self.seed = seed
 
-    def run_service(self, service: str) -> List[CompressionPoint]:
-        """Upload every (content class, size) combination for one service."""
+    def run_kind(self, service: str, kind: FileKind) -> List[CompressionPoint]:
+        """Upload every size of one content class for one service.
+
+        This is the campaign engine's unit cell for the compression stage:
+        each content class gets its own fresh testbed session (independent
+        tests, as §2.3 prescribes), and the file contents are seeded per
+        (seed, service, kind, size), so a class's points are independent of
+        which other classes run and of scheduling.
+        """
         points: List[CompressionPoint] = []
         controller = TestbedController(service)
         controller.start_session()
+        for size in self.sizes:
+            file = generate_file(
+                kind,
+                size,
+                name=f"compression/{kind.value}_{size}{kind.extension}",
+                seed=derive_seed(self.seed, service, kind.value, size),
+            )
+            observation = controller.sync_upload([file], label=f"compression-{kind.value}-{size}")
+            uploaded = observation.storage_trace().uploaded_payload_bytes()
+            points.append(CompressionPoint(service=service, kind=kind, file_size=size, uploaded_bytes=uploaded))
+            controller.pause_between_experiments(60.0)
+        return points
+
+    def run_service(self, service: str) -> List[CompressionPoint]:
+        """Upload every (content class, size) combination for one service."""
+        points: List[CompressionPoint] = []
         for kind in self.kinds:
-            for size in self.sizes:
-                file = generate_file(
-                    kind,
-                    size,
-                    name=f"compression/{kind.value}_{size}{kind.extension}",
-                    seed=derive_seed(self.seed, service, kind.value, size),
-                )
-                observation = controller.sync_upload([file], label=f"compression-{kind.value}-{size}")
-                uploaded = observation.storage_trace().uploaded_payload_bytes()
-                points.append(CompressionPoint(service=service, kind=kind, file_size=size, uploaded_bytes=uploaded))
-                controller.pause_between_experiments(60.0)
+            points.extend(self.run_kind(service, kind))
         return points
 
     def run(self) -> CompressionExperimentResult:

@@ -20,6 +20,7 @@ from repro.geo.geolocate import HybridGeolocator
 from repro.geo.locations import TESTBED_LOCATION
 from repro.geo.vantage import PlanetLabNode, Traceroute, build_planetlab_nodes
 from repro.geo.whois import WhoisDatabase
+from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES, get_profile
 
 __all__ = ["SimulatedWorld", "build_world", "DataCenterResult", "DataCenterExperiment"]
@@ -127,10 +128,18 @@ class DataCenterExperiment:
         *,
         resolver_count: int = 2000,
         planetlab_count: int = 300,
+        seed: int = DEFAULT_SEED,
     ) -> None:
+        # ``seed`` is part of the experiment's identity even though the
+        # simulated world (resolver placement, RTT jitter) is currently
+        # seed-invariant: the standalone subcommand, the campaign cell and
+        # the result-store cache key must agree on one (stage, service,
+        # seed, config) identity for ``cloudbench --seed N datacenters``
+        # to reproduce its campaign cell bit-for-bit.
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.resolver_count = resolver_count
         self.planetlab_count = planetlab_count
+        self.seed = seed
 
     def run_service(self, service: str, world: Optional[SimulatedWorld] = None) -> DiscoveryReport:
         """Discover one service's front-end infrastructure.

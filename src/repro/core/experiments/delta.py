@@ -17,12 +17,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.workloads import DELTA_APPEND_SIZES, DELTA_CHANGE_BYTES, DELTA_RANDOM_SIZES
+from repro.errors import ConfigurationError
 from repro.filegen.binary import generate_binary
 from repro.randomness import DEFAULT_SEED, derive_seed, make_rng
 from repro.testbed.controller import TestbedController
 from repro.services.registry import SERVICE_NAMES
 
-__all__ = ["DeltaPoint", "DeltaResult", "DeltaEncodingExperiment"]
+__all__ = ["DELTA_CASES", "DeltaPoint", "DeltaResult", "DeltaEncodingExperiment"]
+
+#: The two modification patterns of Fig. 4, in figure order (left, right).
+DELTA_CASES = ("append", "random")
 
 
 @dataclass(frozen=True)
@@ -112,13 +116,26 @@ class DeltaEncodingExperiment:
             uploaded_bytes=uploaded,
         )
 
+    def run_case(self, service: str, case: str) -> List[DeltaPoint]:
+        """Run one modification pattern over all its sizes for one service.
+
+        This is the campaign engine's unit cell for the delta stage: every
+        size is measured on its own fresh testbed with a seed derived from
+        (seed, service, case, size), so the two cases are independent of
+        each other and of scheduling.
+        """
+        if case not in DELTA_CASES:
+            raise ConfigurationError(
+                f"unknown delta case {case!r}; valid cases: {', '.join(DELTA_CASES)}"
+            )
+        sizes = self.append_sizes if case == "append" else self.random_sizes
+        return [self._measure(service, size, case) for size in sizes]
+
     def run_service(self, service: str) -> List[DeltaPoint]:
         """Run both cases over all sizes for one service."""
-        points = []
-        for size in self.append_sizes:
-            points.append(self._measure(service, size, "append"))
-        for size in self.random_sizes:
-            points.append(self._measure(service, size, "random"))
+        points: List[DeltaPoint] = []
+        for case in DELTA_CASES:
+            points.extend(self.run_case(service, case))
         return points
 
     def run(self) -> DeltaResult:

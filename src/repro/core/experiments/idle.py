@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capture import analysis
+from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import TestbedController
 from repro.units import minutes
@@ -90,10 +91,18 @@ class IdleExperiment:
         services: Optional[Sequence[str]] = None,
         duration: float = minutes(16),
         sample_interval: float = 10.0,
+        seed: int = DEFAULT_SEED,
     ) -> None:
+        # ``seed`` is part of the experiment's identity even though the
+        # login/idle scenario is currently seed-invariant: the standalone
+        # subcommand, the campaign cell and the result-store cache key must
+        # all agree on one (stage, service, seed, config) identity for
+        # ``cloudbench --seed N idle`` to reproduce its campaign cell
+        # bit-for-bit (and for cached cells to be reused correctly).
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.duration = duration
         self.sample_interval = sample_interval
+        self.seed = seed
 
     def run_service(self, service: str) -> IdleServiceResult:
         """Observe one service while idle."""

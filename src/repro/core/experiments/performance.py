@@ -13,15 +13,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import PerformanceMetrics, aggregate_metrics, compute_performance_metrics
 from repro.core.workloads import PAPER_WORKLOADS, WorkloadSpec
+from repro.errors import ConfigurationError
 from repro.filegen.model import FileKind
 from repro.randomness import DEFAULT_SEED, derive_seed
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import TestbedController
 
-__all__ = ["PerformanceResult", "PerformanceExperiment"]
+__all__ = ["FIGURE_METRICS", "PerformanceResult", "PerformanceExperiment"]
 
 #: Number of repetitions used by the paper (24 per experiment and service).
 PAPER_REPETITIONS = 24
+
+#: The metrics :meth:`PerformanceResult.figure_series` can plot (Fig. 6a-c).
+FIGURE_METRICS = ("startup", "completion", "overhead")
 
 
 @dataclass
@@ -40,12 +44,7 @@ class PerformanceResult:
 
     def pairs(self) -> List[Tuple[str, str]]:
         """Every (service, workload) pair present, in run order."""
-        seen = []
-        for run in self.runs:
-            pair = (run.service, run.workload)
-            if pair not in seen:
-                seen.append(pair)
-        return seen
+        return list(dict.fromkeys((run.service, run.workload) for run in self.runs))
 
     def rows(self) -> List[dict]:
         """One aggregated row per (service, workload): the Fig. 6 bar values."""
@@ -69,13 +68,17 @@ class PerformanceResult:
         """Fig. 6 panel data: ``{service: {workload: value}}`` for one metric.
 
         ``metric`` is ``"startup"`` (Fig. 6a), ``"completion"`` (Fig. 6b) or
-        ``"overhead"`` (Fig. 6c).
+        ``"overhead"`` (Fig. 6c); anything else raises
+        :class:`~repro.errors.ConfigurationError` listing the valid metrics.
         """
-        key = {"startup": "startup", "completion": "completion", "overhead": "overhead"}[metric]
+        if metric not in FIGURE_METRICS:
+            raise ConfigurationError(
+                f"unknown figure metric {metric!r}; valid metrics: {', '.join(FIGURE_METRICS)}"
+            )
         series: Dict[str, Dict[str, float]] = {}
         for service, workload in self.pairs():
             aggregate = self.aggregate(service, workload)
-            series.setdefault(service, {})[workload] = aggregate[key].mean
+            series.setdefault(service, {})[workload] = aggregate[metric].mean
         return series
 
 
@@ -115,17 +118,22 @@ class PerformanceExperiment:
         controller.end_session()
         return metrics
 
-    def run_service(self, service: str) -> List[PerformanceMetrics]:
-        """Every (workload, repetition) run for one service, in run order.
+    def run_pair(self, service: str, workload: WorkloadSpec) -> List[PerformanceMetrics]:
+        """All repetitions of one (service, workload) pair, in repetition order.
 
-        Seeds are derived per (service, workload), so one service's runs are
-        independent of which other services are benchmarked — the campaign
-        engine relies on this to fan services out over worker processes.
+        This is the campaign engine's unit cell for the performance stage:
+        each repetition runs on its own fresh testbed with a seed derived
+        from (seed, service, workload), so a pair's runs are independent of
+        which other pairs (or services) are benchmarked — and of whether
+        they execute in the same worker process.
         """
+        return [self.run_single(service, workload, repetition) for repetition in range(self.repetitions)]
+
+    def run_service(self, service: str) -> List[PerformanceMetrics]:
+        """Every (workload, repetition) run for one service, in run order."""
         runs: List[PerformanceMetrics] = []
         for workload in self.workloads:
-            for repetition in range(self.repetitions):
-                runs.append(self.run_single(service, workload, repetition))
+            runs.extend(self.run_pair(service, workload))
         return runs
 
     def run(self) -> PerformanceResult:

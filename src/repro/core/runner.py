@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.campaign import STAGES, CampaignConfig, CampaignResult, CampaignRunner
+from repro.core.store import ResultStore
 from repro.core.capabilities import CapabilityMatrix, CapabilityProber
 from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
 from repro.core.experiments.datacenters import DataCenterExperiment, DataCenterResult
@@ -111,11 +112,11 @@ class BenchmarkSuite:
 
     def run_idle(self) -> IdleResult:
         """Fig. 1."""
-        return IdleExperiment(self.services, duration=self.idle_duration).run()
+        return IdleExperiment(self.services, duration=self.idle_duration, seed=self.seed).run()
 
     def run_datacenters(self) -> DataCenterResult:
         """Fig. 2 / §3.2."""
-        return DataCenterExperiment(self.services, resolver_count=self.resolver_count).run()
+        return DataCenterExperiment(self.services, resolver_count=self.resolver_count, seed=self.seed).run()
 
     def run_syn_series(self) -> SynSeriesResult:
         """Fig. 3."""
@@ -135,14 +136,24 @@ class BenchmarkSuite:
         return PerformanceExperiment(self.services, repetitions=self.repetitions, seed=self.seed).run()
 
     # Whole campaign -------------------------------------------------------- #
-    def run_campaign(self, stages: Optional[Sequence[str]] = None, *, jobs: int = 1) -> CampaignResult:
+    def run_campaign(
+        self,
+        stages: Optional[Sequence[str]] = None,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> CampaignResult:
         """Run the requested stages through the campaign engine.
 
         Returns the full :class:`~repro.core.campaign.CampaignResult`, which
         carries per-cell wall-clock timings next to the merged suite.  Stage
         names are validated up front: a typo raises
         :class:`~repro.errors.ConfigurationError` listing the valid stages
-        instead of silently running nothing.
+        instead of silently running nothing.  With ``cache_dir``, cells
+        already present in the persistent result store under that directory
+        are loaded instead of re-run, and fresh cells are saved as they
+        complete — so an interrupted or extended campaign resumes
+        incrementally.
         """
         runner = CampaignRunner(
             self.services,
@@ -154,9 +165,16 @@ class BenchmarkSuite:
                 idle_duration=self.idle_duration,
                 resolver_count=self.resolver_count,
             ),
+            store=ResultStore(cache_dir) if cache_dir is not None else None,
         )
         return runner.run()
 
-    def run(self, stages: Optional[Sequence[str]] = None, *, jobs: int = 1) -> SuiteResult:
+    def run(
+        self,
+        stages: Optional[Sequence[str]] = None,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> SuiteResult:
         """Run the requested stages (default: all of them) and collect the results."""
-        return self.run_campaign(stages, jobs=jobs).suite
+        return self.run_campaign(stages, jobs=jobs, cache_dir=cache_dir).suite

@@ -1,0 +1,134 @@
+"""Persistent, resumable campaign result store.
+
+Reproducible cloud benchmarking needs *defined, repeatable, incrementally
+re-runnable executions*: a campaign that dies (or is later extended with
+more seeds, stages or repetitions) should pick up where it left off instead
+of re-simulating every cell.  Because a campaign cell's payload is a pure
+function of its identity — (stage, service, unit, seed,
+:class:`~repro.core.campaign.CampaignConfig`) — that identity can serve as
+a cache key: :class:`ResultStore` pickles each completed
+:class:`~repro.core.campaign.CellResult` under a content hash of the
+identity plus :data:`STORE_SCHEMA_VERSION`, and the campaign runner
+consults the store before dispatching work.
+
+Entries are written atomically (temp file + ``os.replace``), so a campaign
+killed mid-save never leaves a truncated entry behind; unreadable or
+mismatched entries are treated as cache misses and recomputed.  The store
+is also the substrate for future cross-machine sharding: any number of
+runners pointed at a shared directory compute disjoint cells and merge for
+free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import re
+import tempfile
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.core.campaign import CampaignCell, CellResult
+
+__all__ = ["STORE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "cache_key", "ResultStore"]
+
+#: Version of the on-disk entry layout *and* of the key material.  Bump it
+#: whenever either changes: every existing entry then misses and is rebuilt.
+STORE_SCHEMA_VERSION = 1
+
+#: Where ``cloudbench all --resume`` keeps its store when no --cache-dir is given.
+DEFAULT_CACHE_DIR = ".cloudbench-cache"
+
+#: Characters allowed verbatim in store file names; the rest become ``_``.
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def cache_key(cell: "CampaignCell") -> str:
+    """Content hash of one cell's full identity.
+
+    Covers everything the payload is a function of: the schema version, the
+    (stage, service, unit) coordinates, the campaign seed and every knob of
+    the :class:`~repro.core.campaign.CampaignConfig` (by field name, so
+    reordering fields does not silently alias keys).
+    """
+    material = repr(
+        (
+            STORE_SCHEMA_VERSION,
+            cell.stage,
+            cell.service,
+            cell.unit,
+            cell.seed,
+            sorted(dataclasses.asdict(cell.config).items()),
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory of pickled cell results, one file per cell identity."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def path_for(self, cell: "CampaignCell") -> str:
+        """Store file for one cell: ``<root>/<stage>/<service>.<unit>.<key>.pkl``."""
+        name = ".".join(
+            (
+                _UNSAFE.sub("_", cell.service),
+                _UNSAFE.sub("_", cell.unit),
+                cache_key(cell)[:16],
+            )
+        )
+        return os.path.join(self.root, _UNSAFE.sub("_", cell.stage), name + ".pkl")
+
+    def load(self, cell: "CampaignCell") -> Optional["CellResult"]:
+        """The stored result for ``cell``, or ``None`` on any kind of miss.
+
+        A truncated pickle (campaign killed mid-write before the atomic
+        rename — should not happen, but belts and braces), a foreign schema
+        or an identity mismatch all read as a miss, never as an error: the
+        runner simply recomputes the cell and overwrites the entry.
+        """
+        try:
+            with open(self.path_for(cell), "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        result = entry.get("result")
+        if result is None or result.cell != cell:
+            return None
+        return dataclasses.replace(result, cached=True)
+
+    def save(self, result: "CellResult") -> str:
+        """Persist one cell result atomically; returns the entry's path."""
+        path = self.path_for(result.cell)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": cache_key(result.cell),
+            "result": dataclasses.replace(result, cached=False),
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        return path
+
+    def entries(self) -> Iterator[str]:
+        """Paths of every entry currently in the store."""
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in sorted(filenames):
+                if filename.endswith(".pkl"):
+                    yield os.path.join(dirpath, filename)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())

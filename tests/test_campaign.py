@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.campaign import (
     STAGES,
+    WHOLE_SERVICE_UNIT,
     CampaignCell,
     CampaignConfig,
     CampaignRunner,
@@ -17,20 +18,51 @@ from repro.core.campaign import (
     suite_stage_rows,
 )
 from repro.core.runner import BenchmarkSuite
+from repro.core.workloads import PAPER_WORKLOADS
 from repro.errors import ConfigurationError
+from repro.services.registry import SERVICE_NAMES
 
 #: A cheap but representative campaign: two services, three stages.
 SERVICES = ["dropbox", "googledrive"]
 STAGE_SUBSET = ["idle", "syn_series", "performance"]
 CONFIG = CampaignConfig(repetitions=1, idle_duration=60.0, resolver_count=50)
 
+#: Unit-cell arithmetic for the subset: idle 2x1, syn_series 1x1 (only
+#: googledrive is a Fig. 3 service), performance 2 services x 4 workloads.
+SUBSET_CELLS = 2 + 1 + 2 * len(PAPER_WORKLOADS)
+
 
 class TestCampaignPlan:
     def test_cells_are_stage_major_and_deterministic(self):
         runner = CampaignRunner(SERVICES, STAGE_SUBSET, config=CONFIG)
         cells = runner.cells()
-        assert [cell.stage for cell in cells] == ["idle", "idle", "syn_series", "performance", "performance"]
+        assert [cell.stage for cell in cells] == ["idle"] * 2 + ["syn_series"] + ["performance"] * 8
         assert cells == runner.cells()  # planning is a pure function
+
+    def test_performance_splits_into_per_workload_unit_cells(self):
+        cells = CampaignRunner(["dropbox"], ["performance"], config=CONFIG).cells()
+        assert [cell.unit for cell in cells] == [workload.name for workload in PAPER_WORKLOADS]
+        assert [cell.key for cell in cells] == [f"performance/dropbox/{w.name}" for w in PAPER_WORKLOADS]
+
+    def test_delta_and_compression_split_into_unit_cells(self):
+        delta = CampaignRunner(["dropbox"], ["delta"], config=CONFIG).cells()
+        assert [cell.unit for cell in delta] == ["append", "random"]
+        compression = CampaignRunner(["dropbox"], ["compression"], config=CONFIG).cells()
+        assert [cell.unit for cell in compression] == ["text", "binary", "fake_jpeg"]
+
+    def test_stages_without_sub_units_plan_whole_service_cells(self):
+        cells = CampaignRunner(SERVICES, ["idle", "capabilities"], config=CONFIG).cells()
+        assert {cell.unit for cell in cells} == {WHOLE_SERVICE_UNIT}
+        assert cells[0].key == "capabilities/dropbox"  # no unit suffix
+
+    def test_default_campaign_schedules_more_cells_than_flat_grid(self):
+        # Acceptance: the unit-cell plan is strictly finer than the old
+        # 5-service x 7-stage grid (performance alone contributes 5 x 4).
+        cells = CampaignRunner(config=CONFIG).cells()
+        flat_grid = len(SERVICE_NAMES) * len(STAGES)
+        assert len(cells) > flat_grid
+        performance = [cell for cell in cells if cell.stage == "performance"]
+        assert len(performance) == len(SERVICE_NAMES) * len(PAPER_WORKLOADS)
 
     def test_syn_series_cells_restricted_to_paper_services(self):
         cells = CampaignRunner(["dropbox", "wuala"], ["syn_series"], config=CONFIG).cells()
@@ -55,6 +87,28 @@ class TestCampaignPlan:
         campaign = CampaignRunner(["googledrive"], ["syn_series"], seed=99, jobs=1, config=CONFIG).run()
         standalone = SynSeriesExperiment(["googledrive"], seed=99).run()
         assert campaign.suite.syn_series.rows() == standalone.rows()
+
+    def test_unit_cells_merge_identical_to_standalone_runs(self):
+        # The per-unit split (per-workload and per-content-class cells)
+        # must fold back into exactly what the sequential whole-service
+        # experiments produce for the same seed.  (The delta split is
+        # covered at the experiment level with reduced sizes in
+        # test_core_experiments.py — the full-size sweep is too slow here.)
+        from repro.core.experiments.compression import CompressionExperiment
+        from repro.core.experiments.performance import PerformanceExperiment
+
+        campaign = CampaignRunner(["dropbox"], ["compression", "performance"], seed=7, jobs=1, config=CONFIG).run()
+        assert campaign.suite.compression.rows() == CompressionExperiment(["dropbox"], seed=7).run().rows()
+        standalone_perf = PerformanceExperiment(["dropbox"], repetitions=1, seed=7).run()
+        assert campaign.suite.performance.rows() == standalone_perf.rows()
+
+    def test_whole_service_unit_cells_still_runnable(self):
+        # Back-compat: a cell without a unit runs the whole service.
+        cell = CampaignCell(stage="performance", service="dropbox", seed=7, config=CONFIG)
+        assert cell.unit == WHOLE_SERVICE_UNIT
+        whole = run_cell(cell)
+        split = CampaignRunner(["dropbox"], ["performance"], seed=7, jobs=1, config=CONFIG).run()
+        assert whole.payload == split.suite.performance.runs
 
     def test_stage_order_is_canonical_regardless_of_request_order(self):
         runner = CampaignRunner(SERVICES, ["performance", "idle"], config=CONFIG)
@@ -105,8 +159,12 @@ class TestCampaignExecution:
 
     def test_timing_rows_cover_every_cell(self, sequential):
         rows = sequential.timing_rows()
-        assert len(rows) == len(sequential.cells) == 5
+        assert len(rows) == len(sequential.cells) == SUBSET_CELLS
         assert all(row["wall_s"] >= 0 for row in rows)
+        # Unit-level rows: the performance stage reports one row per workload.
+        performance_units = [row["unit"] for row in rows if row["stage"] == "performance"]
+        assert performance_units == [w.name for w in PAPER_WORKLOADS] * 2
+        assert all(row["cached"] == "no" for row in rows)  # no store attached
         assert sequential.cpu_seconds() == pytest.approx(
             sum(cell.wall_seconds for cell in sequential.cells)
         )
@@ -118,10 +176,13 @@ class TestCampaignExecution:
         assert decoded["jobs"] == 1
         assert decoded["stages"] == STAGE_SUBSET  # canonical stage order
         assert decoded["services"] == SERVICES
-        assert len(decoded["cells"]) == 5
+        assert decoded["cache"] == {"hits": 0, "misses": SUBSET_CELLS}
+        assert len(decoded["cells"]) == SUBSET_CELLS
         for cell in decoded["cells"]:
             assert cell["wall_seconds"] >= 0
             assert cell["rows"]
+            assert cell["cached"] is False
+            assert cell["unit"]
 
     def test_merge_cell_results_rebuilds_suite(self, sequential):
         rebuilt = merge_cell_results(sequential.cells)
@@ -141,6 +202,7 @@ class TestSuiteIntegration:
             suite.run(stages=["preformance"])
 
     def test_all_stage_names_runnable(self):
-        # Every advertised stage has a registered runner.
+        # Every advertised stage has a registered runner and unit planner.
         runner = CampaignRunner(["dropbox"], list(STAGES), config=CONFIG)
-        assert [cell.stage for cell in runner.cells()] == list(STAGES)
+        planned_stages = list(dict.fromkeys(cell.stage for cell in runner.cells()))
+        assert planned_stages == list(STAGES)

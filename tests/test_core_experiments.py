@@ -5,11 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.experiments.compression import CompressionExperiment
-from repro.core.experiments.delta import DeltaEncodingExperiment
+from repro.core.experiments.delta import DELTA_CASES, DeltaEncodingExperiment
 from repro.core.experiments.idle import IdleExperiment
-from repro.core.experiments.performance import PerformanceExperiment
+from repro.core.experiments.performance import FIGURE_METRICS, PerformanceExperiment
 from repro.core.experiments.synseries import SynSeriesExperiment
 from repro.core.workloads import workload_by_name
+from repro.errors import ConfigurationError
 from repro.filegen.model import FileKind
 from repro.units import MB, minutes
 
@@ -74,6 +75,19 @@ class TestDeltaExperiment:
         dropbox_random = dict(result.series("random")["dropbox"])
         assert 0.1 < dropbox_random[4 * MB] < 1.0
 
+    def test_run_service_is_concatenation_of_unit_cases(self):
+        # The campaign engine's per-case unit cells must fold back into
+        # exactly the whole-service point list, in the same order.
+        experiment = DeltaEncodingExperiment(["dropbox"], append_sizes=[500_000], random_sizes=[1 * MB])
+        whole = experiment.run_service("dropbox")
+        split = [point for case in DELTA_CASES for point in experiment.run_case("dropbox", case)]
+        assert whole == split
+
+    def test_run_case_rejects_unknown_case(self):
+        experiment = DeltaEncodingExperiment(["dropbox"])
+        with pytest.raises(ConfigurationError, match="valid cases"):
+            experiment.run_case("dropbox", "prepend")
+
 
 class TestCompressionExperiment:
     @pytest.fixture(scope="class")
@@ -94,6 +108,14 @@ class TestCompressionExperiment:
     def test_random_bytes_never_compressed(self, result):
         binary = {service: points[0][1] for service, points in result.series(FileKind.BINARY).items()}
         assert all(value > 0.45 for value in binary.values())
+
+    def test_run_service_is_concatenation_of_unit_kinds(self):
+        # Each content class runs on its own fresh testbed session, so the
+        # campaign engine's per-kind unit cells reproduce run_service exactly.
+        experiment = CompressionExperiment(["dropbox"], sizes=[200_000])
+        whole = experiment.run_service("dropbox")
+        split = [point for kind in experiment.kinds for point in experiment.run_kind("dropbox", kind)]
+        assert whole == split
 
 
 class TestPerformanceExperiment:
@@ -123,6 +145,27 @@ class TestPerformanceExperiment:
     def test_googledrive_beats_dropbox_on_single_small_file(self, result):
         completion = result.figure_series("completion")
         assert completion["googledrive"]["1x100kB"] < completion["dropbox"]["1x100kB"]
+
+    def test_run_service_is_concatenation_of_unit_pairs(self, result):
+        experiment = PerformanceExperiment(
+            services=["dropbox"], workloads=[workload_by_name("1x100kB"), workload_by_name("10x100kB")],
+            repetitions=2, pause_between_runs=10.0,
+        )
+        whole = experiment.run_service("dropbox")
+        split = [run for workload in experiment.workloads for run in experiment.run_pair("dropbox", workload)]
+        assert whole == split
+
+    def test_figure_series_rejects_unknown_metric_listing_valid_ones(self, result):
+        with pytest.raises(ConfigurationError) as excinfo:
+            result.figure_series("throughput")
+        message = str(excinfo.value)
+        for metric in FIGURE_METRICS:
+            assert metric in message
+
+    def test_pairs_dedups_preserving_first_seen_order(self, result):
+        pairs = result.pairs()
+        assert len(pairs) == len(set(pairs))  # no duplicates despite repetitions
+        assert pairs[0] == (result.runs[0].service, result.runs[0].workload)
 
     def test_repetitions_are_deterministic_given_seed(self):
         single = PerformanceExperiment(services=["wuala"], workloads=[workload_by_name("1x100kB")], repetitions=1)

@@ -124,3 +124,71 @@ class TestCLI:
     def test_all_command_rejects_unknown_stage(self):
         with pytest.raises(SystemExit):
             main(["--services", "googledrive", "all", "--stages", "preformance"])
+
+    def test_all_command_rejects_empty_stages_value(self):
+        # Regression: `--stages " , "` used to plan a zero-cell campaign
+        # and exit 0 with an empty summary instead of erroring.
+        with pytest.raises(SystemExit):
+            main(["--services", "googledrive", "all", "--stages", " , "])
+
+    def test_idle_and_datacenters_accept_seed(self, capsys):
+        # Regression: only capabilities/connections/delta/compression/
+        # performance used to honor --seed; now every subcommand constructs
+        # the same experiment identity as its campaign cell.
+        assert main(["--services", "wuala", "--seed", "7", "idle", "--minutes", "1"]) == 0
+        assert "wuala" in capsys.readouterr().out
+        assert main(["--services", "wuala", "--seed", "7", "datacenters", "--resolvers", "50"]) == 0
+        assert "wuala" in capsys.readouterr().out
+
+    def test_all_command_timing_table_has_unit_rows(self, capsys):
+        exit_code = main(
+            ["--services", "googledrive", "all", "--stages", "performance", "--repetitions", "1", "--jobs", "1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "unit" in out
+        for workload in ("1x100kB", "1x1MB", "10x100kB", "100x10kB"):
+            assert workload in out
+
+    def test_all_command_cache_dir_second_run_all_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        json_first = tmp_path / "first.json"
+        json_second = tmp_path / "second.json"
+        argv = [
+            "--services", "googledrive", "--seed", "11",
+            "all", "--stages", "idle,performance", "--minutes", "1", "--repetitions", "1",
+            "--jobs", "1", "--cache-dir", cache_dir,
+        ]
+        assert main(argv + ["--json", str(json_first)]) == 0
+        first_out = capsys.readouterr().out
+        assert "result store" in first_out and "0 hits" in first_out
+        assert main(argv + ["--json", str(json_second)]) == 0
+        second_out = capsys.readouterr().out
+        assert "5 hits, 0 misses (100% cached)" in second_out
+
+        # The summary (everything before the timing table) is byte-identical.
+        marker = "Campaign timing"
+        assert first_out.split(marker)[0] == second_out.split(marker)[0]
+
+        # The JSON rows agree modulo wall-clock timing fields.
+        def strip_timing(payload):
+            payload.pop("wall_seconds", None)
+            for cell in payload["cells"]:
+                cell.pop("wall_seconds", None)
+                cell.pop("cached", None)
+            payload.pop("cell_cpu_seconds", None)
+            payload.pop("cache", None)
+            return payload
+
+        first = strip_timing(json.loads(json_first.read_text()))
+        second = strip_timing(json.loads(json_second.read_text()))
+        assert first == second
+
+    def test_all_command_resume_defaults_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["--services", "googledrive", "all", "--stages", "idle", "--minutes", "1", "--jobs", "1", "--resume"]
+        assert main(argv) == 0
+        assert "result store .cloudbench-cache" in capsys.readouterr().out
+        assert (tmp_path / ".cloudbench-cache" / "idle").is_dir()
+        assert main(argv) == 0
+        assert "1 hits, 0 misses" in capsys.readouterr().out

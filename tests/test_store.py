@@ -1,0 +1,185 @@
+"""Tests for the persistent, resumable campaign result store."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro.core.campaign as campaign_module
+import repro.core.store as store_module
+from repro.core.campaign import CampaignCell, CampaignConfig, CampaignRunner, run_cell, suite_stage_rows
+from repro.core.store import STORE_SCHEMA_VERSION, ResultStore, cache_key
+
+SERVICES = ["dropbox", "googledrive"]
+STAGE_SUBSET = ["idle", "syn_series", "performance"]
+CONFIG = CampaignConfig(repetitions=1, idle_duration=60.0, resolver_count=50)
+
+
+def make_runner(tmp_path, *, seed=42, jobs=1, stages=STAGE_SUBSET, config=CONFIG):
+    return CampaignRunner(
+        SERVICES, stages, seed=seed, jobs=jobs, config=config, store=ResultStore(str(tmp_path / "cache"))
+    )
+
+
+class TestCacheKey:
+    def test_key_is_deterministic_and_identity_sensitive(self):
+        cell = CampaignCell(stage="delta", service="dropbox", seed=1, unit="append", config=CONFIG)
+        assert cache_key(cell) == cache_key(cell)
+        for other in (
+            dataclasses.replace(cell, seed=2),
+            dataclasses.replace(cell, unit="random"),
+            dataclasses.replace(cell, service="wuala"),
+            dataclasses.replace(cell, stage="compression"),
+            dataclasses.replace(cell, config=CampaignConfig(repetitions=9)),
+        ):
+            assert cache_key(other) != cache_key(cell)
+
+    def test_key_covers_schema_version(self, monkeypatch):
+        cell = CampaignCell(stage="delta", service="dropbox", seed=1, unit="append", config=CONFIG)
+        before = cache_key(cell)
+        monkeypatch.setattr(store_module, "STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1)
+        assert cache_key(cell) != before
+
+
+class TestResultStoreRoundTrip:
+    def test_save_then_load_returns_equal_payload_marked_cached(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        computed = run_cell(cell)
+        store.save(computed)
+        loaded = store.load(cell)
+        assert loaded is not None
+        assert loaded.cached is True and computed.cached is False
+        assert loaded.payload == computed.payload
+        assert loaded.wall_seconds == computed.wall_seconds
+        assert loaded.rows() == computed.rows()
+
+    def test_load_misses_for_unknown_or_foreign_identity(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        assert store.load(cell) is None
+        store.save(run_cell(cell))
+        assert store.load(dataclasses.replace(cell, seed=6)) is None
+        assert store.load(dataclasses.replace(cell, config=CampaignConfig(repetitions=2))) is None
+
+    def test_schema_bump_invalidates_existing_entries(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        store.save(run_cell(cell))
+        assert store.load(cell) is not None
+        monkeypatch.setattr(store_module, "STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1)
+        assert store.load(cell) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        # Truncate the pickle as a kill-mid-write would (pre-atomic-rename).
+        with open(path, "wb") as handle:
+            handle.write(b"\x80")
+        assert store.load(cell) is None
+
+    def test_entry_with_wrong_payload_type_reads_as_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "wb") as handle:
+            pickle.dump({"schema": STORE_SCHEMA_VERSION, "result": None}, handle)
+        assert store.load(cell) is None
+
+    def test_unit_cell_round_trips_with_enum_payload(self, tmp_path):
+        # A compression unit cell carries FileKind enums in its points;
+        # they must survive the pickle round-trip and compare equal.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="compression", service="dropbox", seed=5, unit="fake_jpeg", config=CONFIG)
+        computed = run_cell(cell)
+        store.save(computed)
+        loaded = store.load(cell)
+        assert loaded is not None and loaded.payload == computed.payload
+        assert loaded.rows() == computed.rows()
+
+    def test_entries_and_len_enumerate_store(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert len(store) == 0
+        store.save(run_cell(CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)))
+        store.save(run_cell(CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)))
+        assert len(store) == 2
+        assert all(path.endswith(".pkl") for path in store.entries())
+
+
+class TestCampaignCaching:
+    def test_cold_warm_and_uncached_runs_are_bit_identical(self, tmp_path):
+        cold = make_runner(tmp_path).run()
+        warm = make_runner(tmp_path).run()
+        uncached = CampaignRunner(SERVICES, STAGE_SUBSET, seed=42, jobs=1, config=CONFIG).run()
+        assert cold.cache_hits() == 0 and cold.cache_misses() == len(cold.cells)
+        assert warm.cache_hits() == len(warm.cells) and warm.cache_misses() == 0
+        for result in (warm, uncached):
+            assert suite_stage_rows(result.suite) == suite_stage_rows(cold.suite)
+            assert result.suite.summary_text() == cold.suite.summary_text()
+
+    def test_parallel_run_fills_and_reads_the_same_store(self, tmp_path):
+        cold = make_runner(tmp_path, jobs=4).run()
+        warm = make_runner(tmp_path, jobs=4).run()
+        assert cold.cache_misses() == len(cold.cells)
+        assert warm.cache_hits() == len(warm.cells)
+        assert suite_stage_rows(warm.suite) == suite_stage_rows(cold.suite)
+
+    def test_seed_change_misses_the_whole_store(self, tmp_path):
+        make_runner(tmp_path, seed=42).run()
+        other_seed = make_runner(tmp_path, seed=43).run()
+        assert other_seed.cache_hits() == 0
+
+    def test_config_change_misses_the_whole_store(self, tmp_path):
+        make_runner(tmp_path).run()
+        bumped = make_runner(tmp_path, config=CampaignConfig(repetitions=2, idle_duration=60.0, resolver_count=50))
+        assert bumped.run().cache_hits() == 0
+
+    def test_extended_campaign_reuses_overlapping_cells(self, tmp_path):
+        # Resume semantics for a *grown* campaign: add stages, keep the
+        # rest; only the new stages' cells are computed.
+        first = make_runner(tmp_path, stages=["performance"]).run()
+        extended = make_runner(tmp_path, stages=STAGE_SUBSET).run()
+        assert extended.cache_hits() == len(first.cells)
+        assert extended.cache_misses() == len(extended.cells) - len(first.cells)
+        scratch = CampaignRunner(SERVICES, STAGE_SUBSET, seed=42, jobs=1, config=CONFIG).run()
+        assert suite_stage_rows(extended.suite) == suite_stage_rows(scratch.suite)
+
+    def test_interrupted_campaign_resumes_from_cache(self, tmp_path, monkeypatch):
+        # Kill the campaign mid-grid: the first K computed cells survive in
+        # the store, and the re-run completes from them bit-identically.
+        real_run_cell = campaign_module.run_cell
+        budget = {"left": 4}
+
+        def dying_run_cell(cell):
+            if budget["left"] <= 0:
+                raise KeyboardInterrupt
+            budget["left"] -= 1
+            return real_run_cell(cell)
+
+        monkeypatch.setattr(campaign_module, "run_cell", dying_run_cell)
+        with pytest.raises(KeyboardInterrupt):
+            make_runner(tmp_path).run()
+        monkeypatch.setattr(campaign_module, "run_cell", real_run_cell)
+
+        resumed = make_runner(tmp_path).run()
+        assert resumed.cache_hits() == 4
+        assert resumed.cache_misses() == len(resumed.cells) - 4
+        scratch = CampaignRunner(SERVICES, STAGE_SUBSET, seed=42, jobs=1, config=CONFIG).run()
+        assert suite_stage_rows(resumed.suite) == suite_stage_rows(scratch.suite)
+        assert resumed.suite.summary_text() == scratch.suite.summary_text()
+
+    def test_cached_cells_keep_original_wall_seconds(self, tmp_path):
+        cold = make_runner(tmp_path, stages=["syn_series"]).run()
+        warm = make_runner(tmp_path, stages=["syn_series"]).run()
+        assert [r.wall_seconds for r in warm.cells] == [r.wall_seconds for r in cold.cells]
+        assert all(row["cached"] == "yes" for row in warm.timing_rows())
+
+    def test_json_dict_reports_cache_accounting(self, tmp_path):
+        make_runner(tmp_path, stages=["syn_series"]).run()
+        warm = make_runner(tmp_path, stages=["syn_series"]).run()
+        payload = warm.to_json_dict()
+        assert payload["cache"] == {"hits": len(warm.cells), "misses": 0}
+        assert all(cell["cached"] for cell in payload["cells"])
