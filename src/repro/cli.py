@@ -33,18 +33,44 @@ hits.  ``--resume`` continues an interrupted or extended campaign from the
 store (defaulting ``--cache-dir`` to ``.cloudbench-cache``): more seeds,
 stages or repetitions only compute the missing cells, and cached plus
 fresh cells merge into a bit-identical summary.
+
+Distributed campaigns (:mod:`repro.dist`) split one campaign across N
+cooperating runners that share nothing but a store directory::
+
+    cloudbench shard --store DIR --shard 1/2   # runner 1: static partition
+    cloudbench shard --store DIR --shard 2/2   # runner 2 (any machine)
+    cloudbench shard --store DIR --steal       # or: dynamic work stealing
+    cloudbench merge --store DIR               # fold the store into one report
+
+``merge`` re-plans the same deterministic grid (so the campaign flags must
+match the workers'), reads every cell back and prints the same tables —
+and writes the same ``--json``/``--csv`` — as ``cloudbench all``, byte for
+byte.  ``cloudbench cache ls``/``cloudbench cache rm`` inspect and prune a
+store directory.
+
+``--json`` (for ``all`` and ``merge``) writes the *deterministic results
+document*: per-cell rows only, no wall clocks or cache provenance, so any
+two executions of the same campaign — sequential, parallel, or sharded
+across machines — serialize byte-identically.  ``all --timings-json``
+writes the run-specific execution record (timings, worker count, cache
+hits) that ``--json`` used to include.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.campaign import STAGES, default_jobs, suite_stage_rows
-from repro.core.store import DEFAULT_CACHE_DIR
+from repro.core.campaign import (
+    STAGES,
+    CampaignConfig,
+    CampaignRunner,
+    default_jobs,
+    suite_stage_rows,
+)
+from repro.core.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.core.experiments.compression import CompressionExperiment
 from repro.core.experiments.datacenters import DataCenterExperiment
 from repro.core.experiments.delta import DeltaEncodingExperiment
@@ -52,10 +78,11 @@ from repro.core.experiments.idle import IdleExperiment
 from repro.core.experiments.performance import PerformanceExperiment
 from repro.core.experiments.synseries import SynSeriesExperiment
 from repro.core.capabilities import CapabilityProber
-from repro.core.report import render_grouped_bars, render_table, to_csv
+from repro.core.report import render_grouped_bars, render_table, to_csv, write_json
 from repro.core.runner import BenchmarkSuite
 from repro.core.workloads import PAPER_WORKLOADS
-from repro.errors import ConfigurationError
+from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse_shard_spec
+from repro.errors import ConfigurationError, DistributionError
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.units import minutes
@@ -103,10 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
     performance = subparsers.add_parser("performance", help="Fig. 6: start-up, completion, overhead")
     performance.add_argument("--repetitions", type=int, default=3, help="repetitions per (service, workload)")
 
+    def add_campaign_options(sub: argparse.ArgumentParser) -> None:
+        # Shared by all/shard/merge: flags that define the campaign *plan*.
+        # Workers and the merger must agree on these (and on --services /
+        # --seed) or they address different store keys.
+        sub.add_argument("--repetitions", type=int, default=2, help="repetitions per (service, workload)")
+        sub.add_argument("--minutes", type=float, default=16.0, help="idle observation window (minutes)")
+        sub.add_argument("--resolvers", type=int, default=300, help="number of open resolvers to fan out over")
+        sub.add_argument(
+            "--stages",
+            default=None,
+            help=f"comma-separated subset of campaign stages to run (default: all of {','.join(STAGES)})",
+        )
+
     everything = subparsers.add_parser("all", help="run the whole campaign through the parallel engine")
-    everything.add_argument("--repetitions", type=int, default=2, help="repetitions per (service, workload)")
-    everything.add_argument("--minutes", type=float, default=16.0, help="idle observation window (minutes)")
-    everything.add_argument("--resolvers", type=int, default=300, help="number of open resolvers to fan out over")
+    add_campaign_options(everything)
     everything.add_argument(
         "--jobs",
         type=int,
@@ -114,15 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the campaign cells (default: one per CPU)",
     )
     everything.add_argument(
-        "--stages",
-        default=None,
-        help=f"comma-separated subset of campaign stages to run (default: all of {','.join(STAGES)})",
-    )
-    everything.add_argument(
         "--json",
         dest="json_path",
         default=None,
-        help="write machine-readable per-cell results and timings to this JSON file",
+        help=(
+            "write the deterministic per-cell results document to this JSON file "
+            "(byte-identical across --jobs values and across sharded runs merged "
+            "with `cloudbench merge`)"
+        ),
+    )
+    everything.add_argument(
+        "--timings-json",
+        dest="timings_json_path",
+        default=None,
+        help="write the run-specific execution record (wall clocks, cache hits) to this JSON file",
     )
     everything.add_argument(
         "--cache-dir",
@@ -142,6 +185,77 @@ def build_parser() -> argparse.ArgumentParser:
             f"(implies --cache-dir {DEFAULT_CACHE_DIR} when none is given)"
         ),
     )
+
+    shard = subparsers.add_parser(
+        "shard",
+        help="run one shard of a distributed campaign against a shared result store",
+    )
+    add_campaign_options(shard)
+    shard.add_argument("--store", required=True, help="shared result store directory (all runners point here)")
+    mode = shard.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--shard",
+        dest="shard_spec",
+        metavar="I/N",
+        default=None,
+        help="static partition: this runner computes shard I of N (1-based), e.g. --shard 2/4",
+    )
+    mode.add_argument(
+        "--steal",
+        action="store_true",
+        help="dynamic mode: claim any unowned cell via lease files, so stragglers never idle fast workers",
+    )
+    shard.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes inside this runner (default: one per CPU)",
+    )
+    shard.add_argument(
+        "--runner-id",
+        default=None,
+        help="identity recorded on claims and store entries (default: <hostname>-<pid>)",
+    )
+    shard.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=DEFAULT_LEASE_TIMEOUT,
+        help=f"seconds without a heartbeat before a claim counts as abandoned (default: {DEFAULT_LEASE_TIMEOUT:g})",
+    )
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="merge a (possibly still filling) shared store into one campaign report",
+    )
+    add_campaign_options(merge)
+    merge.add_argument("--store", required=True, help="shared result store directory to merge from")
+    merge.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll the store until every campaign cell is present instead of failing fast",
+    )
+    merge.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up --wait after this many seconds (default: wait forever)",
+    )
+    merge.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the deterministic results document (byte-identical to `cloudbench all --json`)",
+    )
+
+    cache = subparsers.add_parser("cache", help="inspect or prune a result store directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list the store's cells (stage/service/unit/seed/runner)")
+    cache_ls.add_argument("--store", default=DEFAULT_CACHE_DIR, help=f"store directory (default: {DEFAULT_CACHE_DIR})")
+    cache_rm = cache_sub.add_parser("rm", help="delete store entries by stage/service, or everything")
+    cache_rm.add_argument("--store", default=DEFAULT_CACHE_DIR, help=f"store directory (default: {DEFAULT_CACHE_DIR})")
+    cache_rm.add_argument("--stage", default=None, help="only remove entries of this campaign stage")
+    cache_rm.add_argument("--service", default=None, help="only remove entries of this service")
+    cache_rm.add_argument("--all", action="store_true", help="remove every entry (and leftover claim files)")
     return parser
 
 
@@ -168,6 +282,63 @@ def _write_stage_csvs(csv_path: str, stage_rows: Dict[str, List[dict]]) -> List[
             handle.write(to_csv(rows) + "\n")
         written.append(path)
     return written
+
+
+def _parse_stages(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Optional[List[str]]:
+    """The --stages selection as a list, or None for all stages."""
+    if args.stages is None:
+        return None
+    stages = [name.strip() for name in args.stages.split(",") if name.strip()]
+    if not stages:
+        parser.error(f"--stages selects no stage; valid stages: {', '.join(STAGES)}")
+    return stages
+
+
+def _campaign_runner(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    services: List[str],
+    *,
+    store: ResultStore,
+    jobs: int,
+) -> CampaignRunner:
+    """A CampaignRunner matching what `cloudbench all` would plan.
+
+    shard/merge rebuild the campaign *plan* from the same flags and
+    defaults as `all`, so every cooperating runner (and the merger)
+    addresses identical store keys.
+    """
+    try:
+        return CampaignRunner(
+            services,
+            _parse_stages(parser, args),
+            seed=args.seed,
+            jobs=jobs,
+            config=CampaignConfig(
+                repetitions=args.repetitions,
+                idle_duration=minutes(args.minutes),
+                resolver_count=args.resolvers,
+            ),
+            store=store,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+
+def _print_merged(campaign, merged_rows: List[dict], args: argparse.Namespace, csv_path: Optional[str]) -> None:
+    """Shared tail of the `merge` command: summary, accounting, csv, json."""
+    print(campaign.suite.summary_text())
+    print()
+    print(render_table(merged_rows, title="Per-runner accounting"))
+    print(
+        f"merged {len(campaign.cells)} cell(s), {campaign.cpu_seconds():.2f} s of recorded cell work"
+    )
+    if csv_path:
+        for path in _write_stage_csvs(csv_path, suite_stage_rows(campaign.suite)):
+            print(f"CSV written to {path}")
+    if args.json_path:
+        write_json(args.json_path, campaign.results_json_dict())
+        print(f"JSON written to {args.json_path}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -228,11 +399,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             resolver_count=args.resolvers,
             seed=args.seed,
         )
-        stages = None
-        if args.stages is not None:
-            stages = [name.strip() for name in args.stages.split(",") if name.strip()]
-            if not stages:
-                parser.error(f"--stages selects no stage; valid stages: {', '.join(STAGES)}")
+        stages = _parse_stages(parser, args)
         cache_dir = args.cache_dir
         if args.resume and cache_dir is None:
             cache_dir = DEFAULT_CACHE_DIR
@@ -260,10 +427,69 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for path in _write_stage_csvs(args.csv, suite_stage_rows(result)):
                 print(f"CSV written to {path}")
         if args.json_path:
-            with open(args.json_path, "w", encoding="utf-8") as handle:
-                json.dump(campaign.to_json_dict(), handle, indent=2, default=str)
-                handle.write("\n")
+            write_json(args.json_path, campaign.results_json_dict())
             print(f"JSON written to {args.json_path}")
+        if args.timings_json_path:
+            write_json(args.timings_json_path, campaign.to_json_dict())
+            print(f"Timings JSON written to {args.timings_json_path}")
+    elif args.command == "shard":
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        store = ResultStore(args.store)
+        runner = _campaign_runner(parser, args, services, store=store, jobs=jobs)
+        try:
+            spec = parse_shard_spec(args.shard_spec) if args.shard_spec is not None else None
+            worker = ShardWorker(
+                runner,
+                shard=spec,
+                steal=args.steal,
+                runner_id=args.runner_id,
+                lease_timeout=args.lease_timeout,
+            )
+            report = worker.run()
+        except DistributionError as error:
+            parser.error(str(error))
+        print(render_table(report.rows(), title=f"Shard worker {report.runner} ({report.mode})"))
+        if report.yielded:
+            print(f"left to other live runners: {', '.join(report.yielded)}")
+        print(
+            f"store {args.store}: computed {len(report.computed)} cell(s), "
+            f"{report.hits} already present; merge with `cloudbench merge --store {args.store}`"
+        )
+    elif args.command == "merge":
+        store = ResultStore(args.store)
+        runner = _campaign_runner(parser, args, services, store=store, jobs=1)
+        merger = CampaignMerger(runner)
+        try:
+            merged = merger.collect(wait=args.wait, timeout=args.timeout)
+        except DistributionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        _print_merged(merged.campaign, merged.runner_rows(), args, args.csv)
+    elif args.command == "cache":
+        store = ResultStore(args.store)
+        if args.cache_command == "ls":
+            rows = [
+                {
+                    "stage": entry.cell.stage,
+                    "service": entry.cell.service,
+                    "unit": entry.cell.unit,
+                    "seed": entry.cell.seed,
+                    "runner": entry.runner if entry.runner is not None else "-",
+                    "wall_s": round(entry.result.wall_seconds, 3),
+                }
+                for entry in store.entries_with_meta()
+            ]
+            rows.sort(key=lambda row: (STAGES.index(row["stage"]) if row["stage"] in STAGES else len(STAGES), row["service"], row["unit"], row["seed"]))
+            print(render_table(rows, title=f"Result store {args.store} ({len(rows)} cell(s))"))
+        elif args.cache_command == "rm":
+            if args.all and (args.stage is not None or args.service is not None):
+                parser.error("cache rm: --all cannot be combined with --stage/--service")
+            if not args.all and args.stage is None and args.service is None:
+                parser.error("cache rm needs a selector: --stage, --service or --all")
+            removed = store.prune(stage=args.stage, service=args.service)
+            print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {args.store}")
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown cache command {args.cache_command!r}")
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

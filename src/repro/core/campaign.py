@@ -61,6 +61,7 @@ from repro.units import minutes
 __all__ = [
     "STAGES",
     "WHOLE_SERVICE_UNIT",
+    "RESULTS_DOC_VERSION",
     "CampaignConfig",
     "CampaignCell",
     "CellResult",
@@ -68,9 +69,17 @@ __all__ = [
     "CampaignRunner",
     "run_cell",
     "merge_cell_results",
+    "results_document",
     "suite_stage_rows",
     "default_jobs",
 ]
+
+#: Version of the deterministic results document (``--json``).  Unlike the
+#: full campaign record, the document contains no wall clocks, worker counts
+#: or cache provenance — only fields that are a pure function of
+#: (plan, seed, config) — so a sharded multi-runner campaign merged from the
+#: store serializes byte-identically to a sequential ``cloudbench all`` run.
+RESULTS_DOC_VERSION = 1
 
 #: Fig. 3 is only plotted for the two services with per-file connections.
 SYN_SERIES_SERVICES = ("clouddrive", "googledrive")
@@ -318,8 +327,20 @@ class CampaignResult:
         """Number of cells actually computed this run."""
         return sum(1 for result in self.cells if not result.cached)
 
+    def results_json_dict(self) -> dict:
+        """The deterministic results document for this campaign.
+
+        See :func:`results_document`; this is what ``--json`` writes.
+        """
+        return results_document(self.cells, seed=self.seed)
+
     def to_json_dict(self) -> dict:
-        """Machine-readable campaign record: per-cell rows and timings."""
+        """Machine-readable campaign *execution* record: rows plus timings.
+
+        Unlike :meth:`results_json_dict` this includes run-specific fields
+        (wall clocks, worker count, cache hits), so two executions of the
+        same campaign generally serialize differently.
+        """
         return {
             "seed": self.seed,
             "jobs": self.jobs,
@@ -399,15 +420,20 @@ class CampaignRunner:
             return [name for name in SYN_SERIES_SERVICES if name in self.services] or list(self.services)
         return list(self.services)
 
-    def run(self) -> CampaignResult:
+    def run(self, cells: Optional[Sequence[CampaignCell]] = None) -> CampaignResult:
         """Execute every cell (in parallel for ``jobs > 1``) and merge.
 
         With a result store attached, cells already in the store are loaded
         instead of dispatched, and freshly computed cells are persisted *as
         they complete* — so an interrupted campaign loses at most the cells
         still in flight and ``--resume`` picks up from the survivors.
+
+        ``cells`` restricts execution to an explicit subset of the plan (in
+        the order given) — this is how a shard worker (:mod:`repro.dist`)
+        runs just its own slice of the grid against the shared store; the
+        merged suite then covers only those cells.
         """
-        plan = self.cells()
+        plan = list(cells) if cells is not None else self.cells()
         started = time.perf_counter()
         results: List[Optional[CellResult]] = [None] * len(plan)
         pending: List[int] = []
@@ -462,6 +488,32 @@ def merge_cell_results(results: Sequence[CellResult]) -> "SuiteResult":
             setattr(suite, spec.name, container)
         spec.fold(container, result.cell, result.payload)
     return suite
+
+
+def results_document(results: Sequence[CellResult], *, seed: int) -> dict:
+    """Deterministic, machine-readable results for a sequence of cell results.
+
+    The document is a pure function of the cell identities and payloads —
+    no wall clocks, worker counts or cache provenance — so any two
+    executions of the same (plan, seed, config), sequential, parallel or
+    sharded across machines and merged from the store, produce the same
+    document byte for byte.  ``results`` must be in plan order.
+    """
+    return {
+        "schema": RESULTS_DOC_VERSION,
+        "seed": seed,
+        "stages": sorted({result.cell.stage for result in results}, key=STAGES.index),
+        "services": list(dict.fromkeys(result.cell.service for result in results)),
+        "cells": [
+            {
+                "stage": result.cell.stage,
+                "service": result.cell.service,
+                "unit": result.cell.unit,
+                "rows": result.rows(),
+            }
+            for result in results
+        ],
+    }
 
 
 def suite_stage_rows(suite: "SuiteResult") -> Dict[str, List[dict]]:

@@ -9,9 +9,10 @@ plotting outside this library).
 from __future__ import annotations
 
 import io
+import json
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["render_table", "to_csv", "render_series", "render_grouped_bars"]
+__all__ = ["render_table", "to_csv", "render_series", "render_grouped_bars", "to_json_text", "write_json"]
 
 
 def _stringify(value: object) -> str:
@@ -55,6 +56,24 @@ def to_csv(rows: Sequence[Mapping[str, object]], headers: Optional[Sequence[str]
             cells.append(value)
         lines.append(",".join(cells))
     return "\n".join(lines)
+
+
+def to_json_text(payload: object) -> str:
+    """Serialize a result payload to the project's canonical JSON form.
+
+    Every ``--json`` writer goes through this one function (fixed
+    indentation, separators and key order), so two payloads that compare
+    equal serialize byte-identically — the property the sharded-campaign
+    acceptance check (`cloudbench merge` vs. `cloudbench all`) diffs on.
+    """
+    return json.dumps(payload, indent=2, default=str) + "\n"
+
+
+def write_json(path: str, payload: object) -> str:
+    """Write a payload as canonical JSON (see :func:`to_json_text`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json_text(payload))
+    return path
 
 
 def render_series(series: Mapping[str, Sequence[Tuple[float, float]]], *, x_label: str = "x", y_label: str = "y", title: str = "") -> str:

@@ -12,17 +12,26 @@ identity plus :data:`STORE_SCHEMA_VERSION`, and the campaign runner
 consults the store before dispatching work.
 
 Entries are written atomically (temp file + ``os.replace``), so a campaign
-killed mid-save never leaves a truncated entry behind; unreadable or
-mismatched entries are treated as cache misses and recomputed.  The store
-is also the substrate for future cross-machine sharding: any number of
-runners pointed at a shared directory compute disjoint cells and merge for
-free.
+killed mid-save never leaves a truncated entry behind; an unreadable entry
+(e.g. hand-truncated, or pickled by an incompatible library version) is
+logged, deleted and treated as a cache miss, so a damaged store heals
+itself instead of wedging every subsequent campaign.
+
+The store is also the substrate for cross-machine sharding
+(:mod:`repro.dist`): any number of runners pointed at a shared directory
+compute disjoint cells and merge for free.  To support that, every entry
+records which runner computed it (``runner`` provenance, surfaced by
+:meth:`ResultStore.entries_with_meta` and the ``cloudbench cache ls`` /
+``cloudbench merge`` accounting), and the sibling ``.claims`` directory
+(managed by :class:`repro.dist.claims.ClaimBoard`) holds the work-stealing
+lease files.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import pickle
 import re
@@ -32,7 +41,15 @@ from typing import TYPE_CHECKING, Iterator, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.core.campaign import CampaignCell, CellResult
 
-__all__ = ["STORE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "cache_key", "ResultStore"]
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "cache_key",
+    "ResultStore",
+    "StoreEntry",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Version of the on-disk entry layout *and* of the key material.  Bump it
 #: whenever either changes: every existing entry then misses and is rebuilt.
@@ -66,11 +83,34 @@ def cache_key(cell: "CampaignCell") -> str:
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
-class ResultStore:
-    """Directory of pickled cell results, one file per cell identity."""
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One store entry: the cell result plus its on-disk/provenance metadata.
 
-    def __init__(self, root: str) -> None:
+    ``runner`` is the id of the shard worker that computed the payload
+    (``None`` for entries written by a plain ``cloudbench all`` run).
+    """
+
+    result: "CellResult"
+    path: str
+    runner: Optional[str] = None
+
+    @property
+    def cell(self) -> "CampaignCell":
+        return self.result.cell
+
+
+class ResultStore:
+    """Directory of pickled cell results, one file per cell identity.
+
+    ``runner`` tags every entry this store instance saves with a runner id,
+    so multi-runner campaigns (:mod:`repro.dist`) can report which machine
+    computed which cell.
+    """
+
+    def __init__(self, root: str, *, runner: Optional[str] = None) -> None:
         self.root = str(root)
+        self.runner = runner
 
     def path_for(self, cell: "CampaignCell") -> str:
         """Store file for one cell: ``<root>/<stage>/<service>.<unit>.<key>.pkl``."""
@@ -83,34 +123,86 @@ class ResultStore:
         )
         return os.path.join(self.root, _UNSAFE.sub("_", cell.stage), name + ".pkl")
 
-    def load(self, cell: "CampaignCell") -> Optional["CellResult"]:
-        """The stored result for ``cell``, or ``None`` on any kind of miss.
+    def claims_root(self) -> str:
+        """Directory holding the work-stealing lease files for this store."""
+        return os.path.join(self.root, ".claims")
 
-        A truncated pickle (campaign killed mid-write before the atomic
-        rename — should not happen, but belts and braces), a foreign schema
-        or an identity mismatch all read as a miss, never as an error: the
-        runner simply recomputes the cell and overwrites the entry.
+    def load(self, cell: "CampaignCell") -> Optional["CellResult"]:
+        """The stored result for ``cell``, or ``None`` on any kind of miss."""
+        entry = self.load_entry(cell)
+        return None if entry is None else entry.result
+
+    def load_entry(self, cell: "CampaignCell") -> Optional[StoreEntry]:
+        """The stored entry (result + provenance) for ``cell``, or ``None``.
+
+        A truncated or otherwise unreadable pickle (campaign killed
+        mid-write before the atomic rename — should not happen, but belts
+        and braces; or an entry written by an incompatible code version)
+        reads as a miss, never as an error: it is logged and *deleted*, so
+        the runner recomputes the cell and the store heals.  A structurally
+        valid entry for a foreign schema or identity is left alone and
+        simply misses.
         """
-        try:
-            with open(self.path_for(cell), "rb") as handle:
-                entry = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        path = self.path_for(cell)
+        entry = self._read_entry(path)
+        if entry is None:
             return None
-        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA_VERSION:
+        if entry.get("schema") != STORE_SCHEMA_VERSION:
             return None
         result = entry.get("result")
-        if result is None or result.cell != cell:
+        if result is None or getattr(result, "cell", None) != cell:
             return None
-        return dataclasses.replace(result, cached=True)
+        return StoreEntry(
+            result=dataclasses.replace(result, cached=True),
+            path=path,
+            runner=entry.get("runner"),
+        )
+
+    def _read_entry(self, path: str) -> Optional[dict]:
+        """Parse one entry file; corrupt files are logged, deleted and miss.
+
+        Only genuine corruption signals (torn/truncated pickle streams)
+        trigger deletion.  AttributeError/ImportError mean the entry was
+        pickled by a *different code version* — on a shared store with
+        mixed-version runners, deleting those would let the versions
+        destroy each other's completed work, so they miss but stay on
+        disk; transient read errors (OSError) likewise just miss.
+        """
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, IndexError) as error:
+            self._discard_corrupt(path, error)
+            return None
+        except (OSError, AttributeError, ImportError):
+            return None
+        if not isinstance(entry, dict):
+            self._discard_corrupt(path, TypeError(f"entry is {type(entry).__name__}, not dict"))
+            return None
+        return entry
+
+    def _discard_corrupt(self, path: str, error: Exception) -> None:
+        logger.warning("discarding corrupt store entry %s (%s: %s)", path, type(error).__name__, error)
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - racing deleters are fine
+            pass
 
     def save(self, result: "CellResult") -> str:
-        """Persist one cell result atomically; returns the entry's path."""
+        """Persist one cell result atomically; returns the entry's path.
+
+        Saves are idempotent and last-writer-wins: because a cell's payload
+        is a pure function of its identity, two runners racing to save the
+        same cell write byte-equivalent results and the atomic rename keeps
+        whichever landed last.
+        """
         path = self.path_for(result.cell)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         entry = {
             "schema": STORE_SCHEMA_VERSION,
             "key": cache_key(result.cell),
+            "runner": self.runner,
             "result": dataclasses.replace(result, cached=False),
         }
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -125,10 +217,61 @@ class ResultStore:
 
     def entries(self) -> Iterator[str]:
         """Paths of every entry currently in the store."""
-        for dirpath, _, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = sorted(name for name in dirnames if name != ".claims")
             for filename in sorted(filenames):
                 if filename.endswith(".pkl"):
                     yield os.path.join(dirpath, filename)
+
+    def entries_with_meta(self) -> Iterator[StoreEntry]:
+        """Every readable entry with its provenance, for store inspection.
+
+        Corrupt files encountered along the way are logged and deleted
+        (exactly as :meth:`load_entry` would); foreign-schema entries are
+        skipped but kept on disk.
+        """
+        for path in list(self.entries()):
+            entry = self._read_entry(path)
+            if entry is None or entry.get("schema") != STORE_SCHEMA_VERSION:
+                continue
+            result = entry.get("result")
+            if result is None or getattr(result, "cell", None) is None:
+                continue
+            yield StoreEntry(result=result, path=path, runner=entry.get("runner"))
+
+    def prune(self, *, stage: Optional[str] = None, service: Optional[str] = None) -> int:
+        """Delete entries matching the given selectors; returns the count.
+
+        With no selector every entry file is removed (``cloudbench cache rm
+        --all``) — including foreign-schema entries that the selector-based
+        paths cannot address — along with any leftover work-stealing claim
+        files.
+        """
+        removed = 0
+        if stage is None and service is None:
+            paths = list(self.entries())
+        else:
+            paths = [
+                entry.path
+                for entry in self.entries_with_meta()
+                if (stage is None or entry.cell.stage == stage)
+                and (service is None or entry.cell.service == service)
+            ]
+        for path in paths:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleters are fine
+                pass
+        if stage is None and service is None:
+            claims = self.claims_root()
+            if os.path.isdir(claims):
+                for name in os.listdir(claims):
+                    try:
+                        os.unlink(os.path.join(claims, name))
+                    except OSError:  # pragma: no cover
+                        pass
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())

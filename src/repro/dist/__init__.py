@@ -1,0 +1,35 @@
+"""repro.dist — sharded multi-runner campaign execution.
+
+The campaign engine (:mod:`repro.core.campaign`) reduces the paper's whole
+measurement study to a deterministic grid of pure (stage, service, unit,
+seed, config) cells, and the result store (:mod:`repro.core.store`) makes
+each cell's output addressable by its identity.  This package adds the
+third leg: letting *N cooperating runners* — processes or machines sharing
+nothing but a store directory — complete one campaign together, with the
+merged output bit-identical to a sequential run.
+
+* :mod:`repro.dist.plan` — deterministic partitioning of the cell grid
+  into K disjoint, exhaustive shards (``--shard i/N``);
+* :mod:`repro.dist.claims` — atomic lease files with heartbeats and
+  stale-lease reclaim, for dynamic work stealing (``--steal``);
+* :mod:`repro.dist.coordinator` — the :class:`ShardWorker` execution loop
+  and the :class:`CampaignMerger` that folds the shared store back into
+  one campaign result with per-runner accounting.
+"""
+
+from repro.dist.claims import DEFAULT_LEASE_TIMEOUT, ClaimBoard, Lease
+from repro.dist.coordinator import CampaignMerger, MergedCampaign, ShardWorker, WorkerReport
+from repro.dist.plan import ShardPlan, ShardSpec, parse_shard_spec
+
+__all__ = [
+    "ShardPlan",
+    "ShardSpec",
+    "parse_shard_spec",
+    "ClaimBoard",
+    "Lease",
+    "DEFAULT_LEASE_TIMEOUT",
+    "ShardWorker",
+    "WorkerReport",
+    "CampaignMerger",
+    "MergedCampaign",
+]

@@ -1,0 +1,340 @@
+"""Shard workers and the campaign merger.
+
+A distributed campaign has exactly two roles, both stateless beyond the
+shared store directory:
+
+* :class:`ShardWorker` — one per runner.  Computes the deterministic
+  campaign plan locally, takes its slice (a static ``--shard i/N``
+  partition, or dynamically via work-stealing claims), executes each cell
+  through the ordinary :func:`repro.core.campaign.run_cell`, and persists
+  results into the shared :class:`~repro.core.store.ResultStore`.  Workers
+  never talk to each other; the store and the claim board are the only
+  coordination media.
+* :class:`CampaignMerger` — usually run once, anywhere, after (or while)
+  the workers run.  Re-plans the same grid, waits for every cell to appear
+  in the store, folds the payloads through
+  :func:`repro.core.campaign.merge_cell_results` in plan order and reports
+  which runner computed what.
+
+Because each cell's payload is a pure function of its identity and merging
+happens in plan order, the merged suite — tables, CSVs and the
+deterministic ``--json`` document — is bit-identical to what a sequential
+``cloudbench all --jobs 1`` produces for the same seed and config, no
+matter how many workers took part, how work was split, or how often a
+worker died and was relaunched.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    merge_cell_results,
+    run_cell,
+)
+from repro.core.store import ResultStore
+from repro.dist.claims import DEFAULT_LEASE_TIMEOUT, ClaimBoard
+from repro.dist.plan import ShardPlan, ShardSpec
+from repro.errors import DistributionError
+
+__all__ = ["default_runner_id", "ShardWorker", "WorkerReport", "CampaignMerger", "MergedCampaign"]
+
+
+def default_runner_id() -> str:
+    """Host-and-pid runner id: unique enough across cooperating machines."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerReport:
+    """What one shard worker did: its accounting half of the campaign."""
+
+    runner: str
+    mode: str  # "shard i/N" or "steal"
+    planned: int  # cells in this worker's scope
+    computed: List[str] = field(default_factory=list)  # cell keys run here
+    hits: int = 0  # cells already present in the store
+    yielded: List[str] = field(default_factory=list)  # left to live rivals
+    wall_seconds: float = 0.0
+
+    def rows(self) -> List[dict]:
+        """One summary row, for the CLI table."""
+        return [
+            {
+                "runner": self.runner,
+                "mode": self.mode,
+                "planned": self.planned,
+                "computed": len(self.computed),
+                "store_hits": self.hits,
+                "yielded": len(self.yielded),
+                "wall_s": round(self.wall_seconds, 3),
+            }
+        ]
+
+
+class ShardWorker:
+    """One runner's claim → run → save → release loop over the shared store.
+
+    ``runner`` supplies the deterministic plan, the execution config and the
+    process pool width (``jobs``); it must carry a
+    :class:`~repro.core.store.ResultStore` — that store *is* the campaign's
+    shared state.  Exactly one of ``shard`` (static partition) or ``steal``
+    (dynamic claims) selects the scheduling mode.
+    """
+
+    def __init__(
+        self,
+        runner: CampaignRunner,
+        *,
+        shard: Optional[ShardSpec] = None,
+        steal: bool = False,
+        runner_id: Optional[str] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        heartbeat_interval: Optional[float] = None,
+    ) -> None:
+        if runner.store is None:
+            raise DistributionError("a shard worker needs a CampaignRunner with a result store attached")
+        if (shard is None) == (not steal):
+            raise DistributionError("choose exactly one scheduling mode: a static shard spec or work stealing")
+        self.runner = runner
+        self.store: ResultStore = runner.store
+        self.shard = shard
+        self.steal = steal
+        self.runner_id = runner_id if runner_id is not None else default_runner_id()
+        # Tag every entry this worker saves, for per-runner merge accounting.
+        self.store.runner = self.runner_id
+        self.claims = ClaimBoard(self.store, self.runner_id, lease_timeout=lease_timeout)
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else max(0.05, min(5.0, lease_timeout / 4.0))
+        )
+
+    def run(self) -> WorkerReport:
+        """Work until this runner can contribute nothing more, then report."""
+        started = time.perf_counter()
+        if self.shard is not None:
+            report = self._run_static(self.shard)
+        else:
+            report = self._run_steal()
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    # Static partition ----------------------------------------------------- #
+    def _run_static(self, spec: ShardSpec) -> WorkerReport:
+        """Run exactly the cells of shard ``spec`` (store hits are skipped).
+
+        Relaunch-friendly for free: a worker killed mid-shard left its
+        completed cells in the store, so running the same shard again only
+        computes the remainder.
+        """
+        cells = ShardPlan(self.runner.cells(), spec.count).shard(spec.index)
+        campaign = self.runner.run(cells=cells)
+        return WorkerReport(
+            runner=self.runner_id,
+            mode=f"shard {spec}",
+            planned=len(cells),
+            computed=[result.cell.key for result in campaign.cells if not result.cached],
+            hits=campaign.cache_hits(),
+        )
+
+    # Work stealing -------------------------------------------------------- #
+    def _run_steal(self) -> WorkerReport:
+        """Claim any unowned (or stale-leased) cell until none remain.
+
+        The loop keeps up to ``jobs`` claimed cells in flight in a process
+        pool, heartbeats their leases while they run, and exits once every
+        plan cell is either in the store or freshly leased by a live rival
+        (those are reported as ``yielded``; the rival — or a relaunched
+        worker reclaiming its stale leases — finishes them).
+        """
+        plan = self.runner.cells()
+        report = WorkerReport(runner=self.runner_id, mode="steal", planned=len(plan))
+        pending = {cell.key: cell for cell in plan}
+        in_flight: Dict[object, object] = {}  # future -> cell
+        try:
+            with ProcessPoolExecutor(max_workers=self.runner.jobs) as pool:
+                while pending or in_flight:
+                    progressed = self._fill(pool, pending, in_flight, report)
+                    if in_flight:
+                        done, _ = wait(set(in_flight), timeout=self.heartbeat_interval, return_when=FIRST_COMPLETED)
+                        failure: Optional[BaseException] = None
+                        for future in done:
+                            cell = in_flight[future]
+                            try:
+                                result: CellResult = future.result()
+                            except BaseException as error:  # save siblings first, re-raise below
+                                del in_flight[future]
+                                self.claims.release(cell)
+                                if failure is None:
+                                    failure = error
+                                continue
+                            # Keep the cell in in_flight until the save lands,
+                            # so a failing save still releases its lease via
+                            # the crash cleanup below.
+                            self.store.save(result)
+                            del in_flight[future]
+                            self.claims.release(cell)
+                            report.computed.append(cell.key)
+                        if failure is not None:
+                            raise failure
+                        for cell in in_flight.values():
+                            self.claims.heartbeat(cell)
+                    elif not progressed:
+                        # Everything left is freshly leased by live rivals.
+                        report.yielded = sorted(pending)
+                        break
+        except BaseException:
+            # Dying with leases held would stall rivals for a full lease
+            # timeout; hand the unfinished cells back immediately.
+            for cell in in_flight.values():
+                self.claims.release(cell)
+            raise
+        return report
+
+    def _fill(self, pool: ProcessPoolExecutor, pending: dict, in_flight: dict, report: WorkerReport) -> bool:
+        """Claim and submit work up to the pool width; True if anything moved."""
+        progressed = False
+        for key in list(pending):
+            if len(in_flight) >= self.runner.jobs:
+                break
+            cell = pending[key]
+            if self.store.load(cell) is not None:
+                del pending[key]
+                report.hits += 1
+                progressed = True
+            elif self.claims.claim(cell):
+                in_flight[pool.submit(run_cell, cell)] = cell
+                del pending[key]
+                progressed = True
+        return progressed
+
+
+@dataclass
+class MergedCampaign:
+    """A merged distributed campaign: the result plus per-runner accounting."""
+
+    campaign: CampaignResult
+    runner_cells: Dict[str, int]  # runner id -> cells computed
+    runner_cpu: Dict[str, float]  # runner id -> summed cell wall-clock
+
+    def runner_rows(self) -> List[dict]:
+        """Per-runner accounting rows for the merge report table."""
+        return [
+            {
+                "runner": runner,
+                "cells": self.runner_cells[runner],
+                "cell_cpu_s": round(self.runner_cpu[runner], 3),
+            }
+            for runner in sorted(self.runner_cells)
+        ]
+
+
+class CampaignMerger:
+    """Collect one campaign's cells from the shared store and fold them.
+
+    The merger never computes anything: it re-plans the same deterministic
+    grid the workers used (same services, stages, seed, config — those
+    *must* match the workers' invocation, or the plan addresses different
+    store keys) and reads every cell back, optionally polling until
+    stragglers land.
+    """
+
+    def __init__(self, runner: CampaignRunner, *, poll_interval: float = 0.5) -> None:
+        if runner.store is None:
+            raise DistributionError("a campaign merger needs a CampaignRunner with a result store attached")
+        self.runner = runner
+        self.store: ResultStore = runner.store
+        self.poll_interval = poll_interval
+
+    def missing(self) -> List["object"]:
+        """Plan cells whose entry file is absent from the store, in plan order.
+
+        Existence is probed cheaply (no unpickling) because this runs in
+        the ``--wait`` poll loop; a present-but-corrupt entry is only
+        discovered — healed and reported missing — by the full read in
+        :meth:`collect`.
+        """
+        return [cell for cell in self.runner.cells() if not os.path.exists(self.store.path_for(cell))]
+
+    def wait_until_complete(self, timeout: Optional[float] = None) -> None:
+        """Poll the store until every plan cell's entry is present.
+
+        Raises :class:`~repro.errors.DistributionError` on timeout, naming
+        the cells still missing so the operator can see which shard died.
+        """
+        self._wait(None if timeout is None else time.monotonic() + timeout)
+
+    def _wait(self, deadline: Optional[float]) -> None:
+        while True:
+            missing = self.missing()
+            if not missing:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DistributionError(self._missing_message(missing, "timed out waiting for"))
+            time.sleep(self.poll_interval)
+
+    def collect(self, *, wait: bool = False, timeout: Optional[float] = None) -> MergedCampaign:
+        """Fold every stored cell into one campaign result.
+
+        Without ``wait`` a store that is still incomplete raises
+        immediately (fail-fast, listing the missing cells); with ``wait``
+        the merger polls until complete or ``timeout`` elapses.  A corrupt
+        entry discovered during the full read is deleted (see
+        :meth:`~repro.core.store.ResultStore.load_entry`) and, under
+        ``wait``, simply waited on again — a live worker will recompute it.
+        """
+        started = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if wait:
+                self._wait(deadline)
+            plan = self.runner.cells()
+            entries = []
+            missing = []
+            for cell in plan:
+                entry = self.store.load_entry(cell)
+                if entry is not None:
+                    entries.append(entry)
+                else:
+                    missing.append(cell)
+            if not missing:
+                break
+            if not wait:
+                raise DistributionError(self._missing_message(missing, "store is missing"))
+            # Present-but-unloadable entries (e.g. foreign schema) keep the
+            # existence probe satisfied, so pace the retry loop explicitly.
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DistributionError(self._missing_message(missing, "timed out waiting for"))
+            time.sleep(self.poll_interval)
+        results = [entry.result for entry in entries]
+        campaign = CampaignResult(
+            suite=merge_cell_results(results),
+            cells=results,
+            seed=self.runner.seed,
+            jobs=self.runner.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+        runner_cells: Counter = Counter()
+        runner_cpu: Dict[str, float] = {}
+        for entry in entries:
+            tag = entry.runner if entry.runner is not None else "(untagged)"
+            runner_cells[tag] += 1
+            runner_cpu[tag] = runner_cpu.get(tag, 0.0) + entry.result.wall_seconds
+        return MergedCampaign(campaign=campaign, runner_cells=dict(runner_cells), runner_cpu=runner_cpu)
+
+    def _missing_message(self, missing: List["object"], verb: str) -> str:
+        keys = [cell.key for cell in missing]
+        shown = ", ".join(keys[:8]) + (", ..." if len(keys) > 8 else "")
+        return (
+            f"{verb} {len(keys)} of {len(self.runner.cells())} campaign cell(s): {shown} "
+            f"(store: {self.store.root}; are all shard workers done, and launched with "
+            f"the same --services/--stages/--seed and config flags?)"
+        )

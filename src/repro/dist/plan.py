@@ -1,0 +1,91 @@
+"""Deterministic sharding of the campaign cell grid.
+
+A shard plan answers one question: *which cells belong to runner i of N?*
+It must be computable by every runner independently — there is no
+coordinator process — so it is a pure function of the campaign plan
+(:meth:`repro.core.campaign.CampaignRunner.cells`, itself deterministic)
+and the shard count.  Cells are dealt round-robin in plan order: cell ``j``
+goes to shard ``j mod N``.  Because the plan is stage-major, round-robin
+dealing interleaves every stage across all shards, so no shard ends up
+holding only the expensive performance cells.
+
+Shard indices are 1-based on the CLI (``--shard 1/4`` … ``--shard 4/4``)
+to match how people number machines; :class:`ShardSpec` keeps that
+convention.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.campaign import CampaignCell
+from repro.errors import DistributionError
+
+__all__ = ["ShardSpec", "ShardPlan", "parse_shard_spec"]
+
+_SPEC_RE = re.compile(r"^\s*(\d+)\s*/\s*(\d+)\s*$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One runner's slot in a static partition: shard ``index`` of ``count``."""
+
+    index: int  # 1-based
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise DistributionError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise DistributionError(
+                f"shard index must be in 1..{self.count}, got {self.index} (indices are 1-based)"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard_spec(text: str) -> ShardSpec:
+    """Parse a CLI ``--shard i/N`` value, validating bounds."""
+    match = _SPEC_RE.match(text)
+    if match is None:
+        raise DistributionError(f"invalid shard spec {text!r}; expected the form i/N, e.g. 2/4")
+    return ShardSpec(index=int(match.group(1)), count=int(match.group(2)))
+
+
+class ShardPlan:
+    """Round-robin partition of a cell plan into ``count`` disjoint shards.
+
+    The partition is deterministic (same plan + same count → same shards on
+    every machine), disjoint and exhaustive: every cell lands in exactly
+    one shard, and each shard preserves plan order so per-shard execution
+    and merging keep the engine's ordering guarantees.
+    """
+
+    def __init__(self, cells: Sequence[CampaignCell], count: int) -> None:
+        if count < 1:
+            raise DistributionError(f"shard count must be >= 1, got {count}")
+        self.cells = list(cells)
+        self.count = count
+
+    def shard_index(self, position: int) -> int:
+        """The 1-based shard owning the cell at plan ``position``."""
+        return position % self.count + 1
+
+    def shard(self, index: int) -> List[CampaignCell]:
+        """The cells of shard ``index`` (1-based), in plan order."""
+        spec = ShardSpec(index=index, count=self.count)  # bounds check
+        return [cell for position, cell in enumerate(self.cells) if self.shard_index(position) == spec.index]
+
+    def shards(self) -> List[List[CampaignCell]]:
+        """All shards, index order; concatenating round-robin restores the plan."""
+        return [self.shard(index) for index in range(1, self.count + 1)]
+
+    def assignment(self) -> Dict[str, int]:
+        """Cell key → owning shard index, for display and debugging."""
+        return {cell.key: self.shard_index(position) for position, cell in enumerate(self.cells)}
+
+    def __len__(self) -> int:
+        return len(self.cells)

@@ -49,3 +49,7 @@ class WorkloadError(CloudBenchError):
 
 class ExperimentError(CloudBenchError):
     """An experiment failed to run or to aggregate its results."""
+
+
+class DistributionError(CloudBenchError):
+    """A sharded multi-runner campaign could not be planned or merged."""

@@ -188,6 +188,26 @@ class TestCampaignExecution:
         rebuilt = merge_cell_results(sequential.cells)
         assert suite_stage_rows(rebuilt) == suite_stage_rows(sequential.suite)
 
+    def test_results_json_dict_is_deterministic_across_executions(self, sequential):
+        # The results document carries no wall clocks, worker counts or
+        # cache fields, so any re-execution of the same campaign produces
+        # the exact same document — the property `cloudbench merge` relies
+        # on to diff byte-identically against `cloudbench all`.
+        parallel = CampaignRunner(SERVICES, STAGE_SUBSET, jobs=4, config=CONFIG).run()
+        assert parallel.results_json_dict() == sequential.results_json_dict()
+        document = sequential.results_json_dict()
+        assert set(document) == {"schema", "seed", "stages", "services", "cells"}
+        assert all(set(cell) == {"stage", "service", "unit", "rows"} for cell in document["cells"])
+
+    def test_run_accepts_explicit_cell_subset(self, sequential):
+        # Shard workers execute a slice of the plan through the same runner.
+        runner = CampaignRunner(SERVICES, STAGE_SUBSET, jobs=1, config=CONFIG)
+        subset = runner.cells()[:3]
+        partial = runner.run(cells=subset)
+        assert [result.cell for result in partial.cells] == subset
+        full_rows = [result.rows() for result in sequential.cells[:3]]
+        assert [result.rows() for result in partial.cells] == full_rows
+
 
 class TestSuiteIntegration:
     def test_benchmark_suite_runs_through_engine(self):

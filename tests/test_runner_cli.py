@@ -56,7 +56,10 @@ class TestCLI:
     def test_parser_has_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("capabilities", "idle", "datacenters", "connections", "delta", "compression", "performance", "all"):
+        for command in (
+            "capabilities", "idle", "datacenters", "connections", "delta",
+            "compression", "performance", "all", "shard", "merge", "cache",
+        ):
             assert command in text
 
     def test_main_rejects_unknown_service(self):
@@ -106,20 +109,37 @@ class TestCLI:
 
     def test_all_command_emits_timing_and_json(self, tmp_path, capsys):
         json_path = tmp_path / "campaign.json"
+        timings_path = tmp_path / "timings.json"
         exit_code = main(
             [
                 "--services", "googledrive", "--seed", "3",
-                "all", "--stages", "idle", "--minutes", "1", "--jobs", "1", "--json", str(json_path),
+                "all", "--stages", "idle", "--minutes", "1", "--jobs", "1",
+                "--json", str(json_path), "--timings-json", str(timings_path),
             ]
         )
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "Campaign timing (jobs=1)" in out
         assert "total wall-clock" in out
+        # --json is the deterministic results document: no wall clocks,
+        # worker counts or cache fields — those live in --timings-json.
         payload = json.loads(json_path.read_text())
-        assert payload["seed"] == 3 and payload["jobs"] == 1
+        assert payload["seed"] == 3 and "jobs" not in payload
         assert [cell["stage"] for cell in payload["cells"]] == ["idle"]
         assert payload["cells"][0]["rows"][0]["service"] == "googledrive"
+        assert "wall_seconds" not in payload["cells"][0]
+        timings = json.loads(timings_path.read_text())
+        assert timings["jobs"] == 1 and timings["cache"] == {"hits": 0, "misses": 1}
+        assert timings["cells"][0]["wall_seconds"] >= 0
+
+    def test_all_command_json_is_byte_identical_across_jobs(self, tmp_path):
+        first = tmp_path / "jobs1.json"
+        second = tmp_path / "jobs2.json"
+        argv = ["--services", "googledrive", "--seed", "3", "all", "--stages", "idle,performance",
+                "--minutes", "1", "--repetitions", "1"]
+        assert main(argv + ["--jobs", "1", "--json", str(first)]) == 0
+        assert main(argv + ["--jobs", "2", "--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
 
     def test_all_command_rejects_unknown_stage(self):
         with pytest.raises(SystemExit):
@@ -170,19 +190,9 @@ class TestCLI:
         marker = "Campaign timing"
         assert first_out.split(marker)[0] == second_out.split(marker)[0]
 
-        # The JSON rows agree modulo wall-clock timing fields.
-        def strip_timing(payload):
-            payload.pop("wall_seconds", None)
-            for cell in payload["cells"]:
-                cell.pop("wall_seconds", None)
-                cell.pop("cached", None)
-            payload.pop("cell_cpu_seconds", None)
-            payload.pop("cache", None)
-            return payload
-
-        first = strip_timing(json.loads(json_first.read_text()))
-        second = strip_timing(json.loads(json_second.read_text()))
-        assert first == second
+        # The deterministic results document is byte-identical: a fully
+        # cache-served re-run serializes exactly as the computing run did.
+        assert json_first.read_bytes() == json_second.read_bytes()
 
     def test_all_command_resume_defaults_cache_dir(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -192,3 +202,81 @@ class TestCLI:
         assert (tmp_path / ".cloudbench-cache" / "idle").is_dir()
         assert main(argv) == 0
         assert "1 hits, 0 misses" in capsys.readouterr().out
+
+
+class TestDistributedCLI:
+    CAMPAIGN = ["--stages", "idle,performance", "--minutes", "1", "--repetitions", "1"]
+
+    def sequential_json(self, tmp_path, *, services="dropbox,googledrive", seed="13"):
+        path = tmp_path / "sequential.json"
+        argv = ["--services", services, "--seed", seed, "all", *self.CAMPAIGN, "--jobs", "1", "--json", str(path)]
+        assert main(argv) == 0
+        return path
+
+    def test_two_static_shard_workers_merge_byte_identical(self, tmp_path, capsys):
+        sequential = self.sequential_json(tmp_path)
+        store = str(tmp_path / "store")
+        base = ["--services", "dropbox,googledrive", "--seed", "13"]
+        assert main(base + ["shard", *self.CAMPAIGN, "--store", store, "--shard", "1/2", "--jobs", "1", "--runner-id", "w1"]) == 0
+        assert main(base + ["shard", *self.CAMPAIGN, "--store", store, "--shard", "2/2", "--jobs", "1", "--runner-id", "w2"]) == 0
+        out = capsys.readouterr().out
+        assert "Shard worker w1 (shard 1/2)" in out and "Shard worker w2 (shard 2/2)" in out
+        merged = tmp_path / "merged.json"
+        assert main(base + ["merge", *self.CAMPAIGN, "--store", store, "--json", str(merged)]) == 0
+        merge_out = capsys.readouterr().out
+        assert "Per-runner accounting" in merge_out
+        assert "w1" in merge_out and "w2" in merge_out
+        assert merged.read_bytes() == sequential.read_bytes()
+
+    def test_two_steal_workers_merge_byte_identical(self, tmp_path, capsys):
+        sequential = self.sequential_json(tmp_path)
+        store = str(tmp_path / "store")
+        base = ["--services", "dropbox,googledrive", "--seed", "13"]
+        for runner_id in ("s1", "s2"):
+            argv = base + ["shard", *self.CAMPAIGN, "--store", store, "--steal", "--jobs", "1", "--runner-id", runner_id]
+            assert main(argv) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(base + ["merge", *self.CAMPAIGN, "--store", store, "--json", str(merged)]) == 0
+        assert merged.read_bytes() == sequential.read_bytes()
+
+    def test_merge_fails_fast_on_incomplete_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--services", "dropbox,googledrive", "--seed", "13"]
+        assert main(base + ["shard", *self.CAMPAIGN, "--store", store, "--shard", "1/2", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(base + ["merge", *self.CAMPAIGN, "--store", store]) == 1
+        err = capsys.readouterr().err
+        assert "missing" in err and "shard workers" in err
+
+    def test_shard_rejects_bad_spec_and_missing_mode(self, tmp_path):
+        store = str(tmp_path / "store")
+        with pytest.raises(SystemExit):
+            main(["shard", "--store", store, "--shard", "3/2"])
+        with pytest.raises(SystemExit):
+            main(["shard", "--store", store])
+        with pytest.raises(SystemExit):
+            main(["shard", "--store", store, "--shard", "1/2", "--steal"])
+
+    def test_cache_ls_and_rm(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--services", "dropbox,googledrive", "--seed", "13"]
+        assert main(base + ["shard", *self.CAMPAIGN, "--store", store, "--steal", "--jobs", "1", "--runner-id", "w1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "idle" in out and "performance" in out and "w1" in out and "13" in out
+        assert main(["cache", "rm", "--store", store, "--stage", "idle"]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--store", store]) == 0
+        assert "idle" not in capsys.readouterr().out.split("Result store")[1]
+        assert main(["cache", "rm", "--store", store, "--all"]) == 0
+        assert "removed 8 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--store", store]) == 0
+        assert "(no data)" in capsys.readouterr().out
+
+    def test_cache_rm_requires_selector(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "rm", "--store", str(tmp_path / "store")])
+        with pytest.raises(SystemExit):
+            main(["cache", "rm", "--store", str(tmp_path / "store"), "--all", "--stage", "idle"])

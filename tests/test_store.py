@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import logging
+import os
 import pickle
 
 import pytest
@@ -72,14 +74,21 @@ class TestResultStoreRoundTrip:
         monkeypatch.setattr(store_module, "STORE_SCHEMA_VERSION", STORE_SCHEMA_VERSION + 1)
         assert store.load(cell) is None
 
-    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+    def test_corrupt_entry_reads_as_miss_and_is_deleted(self, tmp_path, caplog):
         store = ResultStore(str(tmp_path))
         cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
         path = store.save(run_cell(cell))
         # Truncate the pickle as a kill-mid-write would (pre-atomic-rename).
         with open(path, "wb") as handle:
             handle.write(b"\x80")
-        assert store.load(cell) is None
+        with caplog.at_level(logging.WARNING, logger="repro.core.store"):
+            assert store.load(cell) is None
+        # The store heals: the torn entry is logged and removed, so the
+        # next run recomputes and re-saves instead of tripping forever.
+        assert not os.path.exists(path)
+        assert any("corrupt" in record.message for record in caplog.records)
+        store.save(run_cell(cell))
+        assert store.load(cell) is not None
 
     def test_entry_with_wrong_payload_type_reads_as_miss(self, tmp_path):
         store = ResultStore(str(tmp_path))
@@ -88,6 +97,33 @@ class TestResultStoreRoundTrip:
         with open(path, "wb") as handle:
             pickle.dump({"schema": STORE_SCHEMA_VERSION, "result": None}, handle)
         assert store.load(cell) is None
+
+    def test_version_skew_entry_misses_but_is_kept_on_disk(self, tmp_path):
+        # An entry pickled by a different code version (unpicklable here:
+        # ImportError/AttributeError) must NOT be deleted — on a shared
+        # store, mixed-version runners would otherwise destroy each
+        # other's completed work.  It just misses for this version.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "wb") as handle:
+            handle.write(b"crepro.no_such_module\nThing\n.")  # GLOBAL of a missing module
+        assert store.load(cell) is None
+        assert os.path.exists(path)
+
+    def test_foreign_schema_entry_is_kept_on_disk(self, tmp_path):
+        # Unlike corruption, a structurally valid entry of another schema
+        # version just misses — it is not this version's to delete.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["schema"] = STORE_SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle)
+        assert store.load(cell) is None
+        assert os.path.exists(path)
 
     def test_unit_cell_round_trips_with_enum_payload(self, tmp_path):
         # A compression unit cell carries FileKind enums in its points;
@@ -107,6 +143,66 @@ class TestResultStoreRoundTrip:
         store.save(run_cell(CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)))
         assert len(store) == 2
         assert all(path.endswith(".pkl") for path in store.entries())
+
+    def test_save_records_runner_provenance(self, tmp_path):
+        store = ResultStore(str(tmp_path), runner="machine-7")
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        store.save(run_cell(cell))
+        entry = store.load_entry(cell)
+        assert entry is not None and entry.runner == "machine-7"
+        assert entry.cell == cell
+        # An untagged store (plain `cloudbench all`) records no runner.
+        untagged = ResultStore(str(tmp_path))
+        untagged.save(run_cell(cell))
+        assert untagged.load_entry(cell).runner is None
+
+    def test_entries_with_meta_lists_identities(self, tmp_path):
+        store = ResultStore(str(tmp_path), runner="m1")
+        cells = [
+            CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG),
+            CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG),
+        ]
+        for cell in cells:
+            store.save(run_cell(cell))
+        meta = {(entry.cell.stage, entry.cell.service): entry.runner for entry in store.entries_with_meta()}
+        assert meta == {("idle", "dropbox"): "m1", ("syn_series", "googledrive"): "m1"}
+
+    def test_prune_by_stage_service_and_all(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for stage, service in (("idle", "dropbox"), ("idle", "wuala"), ("syn_series", "googledrive")):
+            store.save(run_cell(CampaignCell(stage=stage, service=service, seed=5, config=CONFIG)))
+        assert store.prune(stage="idle", service="dropbox") == 1
+        assert len(store) == 2
+        assert store.prune(stage="idle") == 1
+        assert len(store) == 1
+        assert store.prune() == 1
+        assert len(store) == 0
+
+    def test_prune_all_removes_foreign_schema_entries_too(self, tmp_path):
+        # Selector-based rm can only address entries it can read, but
+        # `cache rm --all` must clear stale-version files as well — it is
+        # the only GC the store has.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["schema"] = STORE_SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle)
+        assert store.prune(stage="idle") == 0  # unreadable by selectors
+        assert store.prune() == 1
+        assert len(store) == 0
+
+    def test_prune_all_clears_leftover_claim_files(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        claims = store.claims_root()
+        os.makedirs(claims, exist_ok=True)
+        with open(os.path.join(claims, "stale.claim"), "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        store.save(run_cell(CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)))
+        assert store.prune() == 1
+        assert os.listdir(claims) == []
 
 
 class TestCampaignCaching:
