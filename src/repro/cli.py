@@ -54,6 +54,19 @@ two executions of the same campaign — sequential, parallel, or sharded
 across machines — serialize byte-identically.  ``all --timings-json``
 writes the run-specific execution record (timings, worker count, cache
 hits) that ``--json`` used to include.
+
+Seed sweeps (:mod:`repro.core.sweep`) make repetition a plan dimension:
+``--seeds 7,8,10..12`` (on ``all``, ``shard`` and ``merge``) plans the
+same campaign grid once per seed and reduces the per-seed results into
+cross-seed statistics — mean, stddev, median, quartiles/IQR, extrema, n —
+per (stage, service, unit, metric).  A multi-seed ``all`` prints one
+aggregate table per stage, ``--csv`` writes per-stage aggregate CSVs and
+``--json`` writes the deterministic *sweep document* (per-seed documents
+plus aggregates), which shards and merges exactly like the single-seed
+document: byte-identical across ``--jobs N``, multi-runner ``shard`` +
+``merge`` and cache-resumed executions, and independent of seed order.
+With a single seed everything stays byte-identical to the pre-sweep
+output.
 """
 
 from __future__ import annotations
@@ -85,7 +98,7 @@ from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse
 from repro.errors import ConfigurationError, DistributionError
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
-from repro.units import minutes
+from repro.units import minutes, parse_duration, parse_seeds
 
 __all__ = ["main", "build_parser"]
 
@@ -141,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--stages",
             default=None,
             help=f"comma-separated subset of campaign stages to run (default: all of {','.join(STAGES)})",
+        )
+        sub.add_argument(
+            "--seeds",
+            default=None,
+            help=(
+                "seed sweep: run the campaign grid once per seed and aggregate across "
+                "seeds; accepts comma lists and inclusive ranges, e.g. '7,8,10..12' "
+                "(default: the single --seed)"
+            ),
         )
 
     everything = subparsers.add_parser("all", help="run the whole campaign through the parallel engine")
@@ -251,10 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_ls = cache_sub.add_parser("ls", help="list the store's cells (stage/service/unit/seed/runner)")
     cache_ls.add_argument("--store", default=DEFAULT_CACHE_DIR, help=f"store directory (default: {DEFAULT_CACHE_DIR})")
-    cache_rm = cache_sub.add_parser("rm", help="delete store entries by stage/service, or everything")
+    cache_rm = cache_sub.add_parser("rm", help="delete store entries by stage/service/age/schema, or everything")
     cache_rm.add_argument("--store", default=DEFAULT_CACHE_DIR, help=f"store directory (default: {DEFAULT_CACHE_DIR})")
     cache_rm.add_argument("--stage", default=None, help="only remove entries of this campaign stage")
     cache_rm.add_argument("--service", default=None, help="only remove entries of this service")
+    cache_rm.add_argument(
+        "--older-than",
+        dest="older_than",
+        metavar="AGE",
+        default=None,
+        help="TTL GC: only remove entries last written more than AGE ago (e.g. 45s, 30m, 12h, 7d)",
+    )
+    cache_rm.add_argument(
+        "--schema-foreign",
+        dest="schema_foreign",
+        action="store_true",
+        help="remove entries written under a different store schema version (not combinable with --stage/--service)",
+    )
     cache_rm.add_argument("--all", action="store_true", help="remove every entry (and leftover claim files)")
     return parser
 
@@ -294,25 +329,43 @@ def _parse_stages(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
     return stages
 
 
+def _campaign_seeds(parser: argparse.ArgumentParser, args: argparse.Namespace) -> List[int]:
+    """The campaign's seed list: the --seeds sweep spec, or the single --seed.
+
+    One shared grammar (:func:`repro.units.parse_seeds`) serves `all`,
+    `shard` and `merge`, so cooperating runners cannot disagree on how a
+    sweep spec expands.
+    """
+    if args.seeds is None:
+        return [args.seed]
+    try:
+        return parse_seeds(args.seeds)
+    except ConfigurationError as error:
+        parser.error(str(error))
+
+
 def _campaign_runner(
     parser: argparse.ArgumentParser,
     args: argparse.Namespace,
     services: List[str],
     *,
-    store: ResultStore,
+    store: Optional[ResultStore],
     jobs: int,
+    seeds: Optional[List[int]] = None,
 ) -> CampaignRunner:
     """A CampaignRunner matching what `cloudbench all` would plan.
 
     shard/merge rebuild the campaign *plan* from the same flags and
     defaults as `all`, so every cooperating runner (and the merger)
-    addresses identical store keys.
+    addresses identical store keys — including the seed list of a sweep.
+    ``seeds`` lets a caller that already parsed the spec pass it through
+    instead of parsing twice.
     """
     try:
         return CampaignRunner(
             services,
             _parse_stages(parser, args),
-            seed=args.seed,
+            seeds=seeds if seeds is not None else _campaign_seeds(parser, args),
             jobs=jobs,
             config=CampaignConfig(
                 repetitions=args.repetitions,
@@ -323,6 +376,50 @@ def _campaign_runner(
         )
     except ConfigurationError as error:
         parser.error(str(error))
+
+
+def store_listing_rows(store: ResultStore) -> List[dict]:
+    """`cache ls` rows in deterministic order: (stage, service, unit, seed).
+
+    Stages sort in campaign order (unknown stages last, alphabetically), so
+    two listings of equal stores are byte-identical and diffable in CI like
+    the results documents.
+    """
+    rows = [
+        {
+            "stage": entry.cell.stage,
+            "service": entry.cell.service,
+            "unit": entry.cell.unit,
+            "seed": entry.cell.seed,
+            "runner": entry.runner if entry.runner is not None else "-",
+            "wall_s": round(entry.result.wall_seconds, 3),
+        }
+        for entry in store.entries_with_meta()
+    ]
+    rows.sort(
+        key=lambda row: (
+            (STAGES.index(row["stage"]), "") if row["stage"] in STAGES else (len(STAGES), row["stage"]),
+            row["service"],
+            row["unit"],
+            row["seed"],
+        )
+    )
+    return rows
+
+
+def _emit_sweep_artifacts(sweep, args: argparse.Namespace, csv_path: Optional[str]) -> None:
+    """Shared sweep tail of `all --seeds` and `merge --seeds`: csv + json.
+
+    ``--csv`` writes one CSV per stage: cross-seed aggregate statistics,
+    or consensus rows for stages with no numeric metric — every planned
+    stage gets a file.  ``--json`` writes the deterministic sweep document.
+    """
+    if csv_path:
+        for path in _write_stage_csvs(csv_path, sweep.report_rows()):
+            print(f"CSV written to {path}")
+    if args.json_path:
+        write_json(args.json_path, sweep.document())
+        print(f"JSON written to {args.json_path}")
 
 
 def _print_merged(campaign, merged_rows: List[dict], args: argparse.Namespace, csv_path: Optional[str]) -> None:
@@ -392,17 +489,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _emit(result.rows(), text, args.csv)
     elif args.command == "all":
         jobs = args.jobs if args.jobs is not None else default_jobs()
+        seeds = _campaign_seeds(parser, args)
+        cache_dir = args.cache_dir
+        if args.resume and cache_dir is None:
+            cache_dir = DEFAULT_CACHE_DIR
+        if len(seeds) > 1:
+            # Seed sweep: the plan is grid x seeds, the report cross-seed
+            # statistics.  (A single seed keeps the legacy campaign path —
+            # and its byte-identical output — below.)
+            store = ResultStore(cache_dir) if cache_dir is not None else None
+            runner = _campaign_runner(parser, args, services, store=store, jobs=jobs, seeds=seeds)
+            sweep = runner.run_sweep()
+            print(sweep.summary_text())
+            print()
+            cells = sweep.cells()
+            print(
+                f"sweep wall-clock {sweep.wall_seconds:.2f} s for "
+                f"{sweep.cpu_seconds():.2f} s of cell work over "
+                f"{len(cells)} cell(s) = {len(seeds)} seed(s) x {len(cells) // len(seeds)} cell(s) "
+                f"({sweep.cpu_seconds() / max(sweep.wall_seconds, 1e-9):.2f}x, jobs={runner.jobs})"
+            )
+            if cache_dir is not None:
+                ratio = sweep.cache_hits() / len(cells) if cells else 0.0
+                print(
+                    f"result store {cache_dir}: {sweep.cache_hits()} hits, "
+                    f"{sweep.cache_misses()} misses ({ratio:.0%} cached)"
+                )
+            _emit_sweep_artifacts(sweep, args, args.csv)
+            if args.timings_json_path:
+                write_json(args.timings_json_path, sweep.to_json_dict())
+                print(f"Timings JSON written to {args.timings_json_path}")
+            return 0
         suite = BenchmarkSuite(
             services,
             repetitions=args.repetitions,
             idle_duration=minutes(args.minutes),
             resolver_count=args.resolvers,
-            seed=args.seed,
+            seed=seeds[0],
         )
         stages = _parse_stages(parser, args)
-        cache_dir = args.cache_dir
-        if args.resume and cache_dir is None:
-            cache_dir = DEFAULT_CACHE_DIR
         try:
             campaign = suite.run_campaign(stages, jobs=jobs, cache_dir=cache_dir)
         except ConfigurationError as error:
@@ -464,29 +589,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except DistributionError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
-        _print_merged(merged.campaign, merged.runner_rows(), args, args.csv)
+        if len(runner.seeds) > 1:
+            # A sweep merge reports cross-seed aggregates (and the sweep
+            # document), not one mixed-seed suite.
+            sweep = merged.sweep
+            print(sweep.summary_text())
+            print()
+            print(render_table(merged.runner_rows(), title="Per-runner accounting"))
+            print(
+                f"merged {len(sweep.cells())} cell(s) across {len(runner.seeds)} seed(s), "
+                f"{sweep.cpu_seconds():.2f} s of recorded cell work"
+            )
+            _emit_sweep_artifacts(sweep, args, args.csv)
+        else:
+            _print_merged(merged.campaign, merged.runner_rows(), args, args.csv)
     elif args.command == "cache":
         store = ResultStore(args.store)
         if args.cache_command == "ls":
-            rows = [
-                {
-                    "stage": entry.cell.stage,
-                    "service": entry.cell.service,
-                    "unit": entry.cell.unit,
-                    "seed": entry.cell.seed,
-                    "runner": entry.runner if entry.runner is not None else "-",
-                    "wall_s": round(entry.result.wall_seconds, 3),
-                }
-                for entry in store.entries_with_meta()
-            ]
-            rows.sort(key=lambda row: (STAGES.index(row["stage"]) if row["stage"] in STAGES else len(STAGES), row["service"], row["unit"], row["seed"]))
+            rows = store_listing_rows(store)
             print(render_table(rows, title=f"Result store {args.store} ({len(rows)} cell(s))"))
         elif args.cache_command == "rm":
-            if args.all and (args.stage is not None or args.service is not None):
-                parser.error("cache rm: --all cannot be combined with --stage/--service")
-            if not args.all and args.stage is None and args.service is None:
-                parser.error("cache rm needs a selector: --stage, --service or --all")
-            removed = store.prune(stage=args.stage, service=args.service)
+            selected = args.stage is not None or args.service is not None or args.older_than is not None or args.schema_foreign
+            if args.all and selected:
+                parser.error("cache rm: --all cannot be combined with --stage/--service/--older-than/--schema-foreign")
+            if not args.all and not selected:
+                parser.error("cache rm needs a selector: --stage, --service, --older-than, --schema-foreign or --all")
+            if args.schema_foreign and (args.stage is not None or args.service is not None):
+                parser.error(
+                    "cache rm: --schema-foreign cannot be combined with --stage/--service "
+                    "(a foreign entry's identity is not readable by this version)"
+                )
+            older_than = None
+            if args.older_than is not None:
+                try:
+                    older_than = parse_duration(args.older_than)
+                except ConfigurationError as error:
+                    parser.error(str(error))
+            removed = store.prune(
+                stage=args.stage,
+                service=args.service,
+                older_than=older_than,
+                schema_foreign=args.schema_foreign,
+            )
             print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {args.store}")
         else:  # pragma: no cover - argparse enforces the choices
             parser.error(f"unknown cache command {args.cache_command!r}")

@@ -38,6 +38,7 @@ from repro.core.capabilities import (
     CompressionResult,
 )
 from repro.core.runner import BenchmarkSuite, SuiteResult
+from repro.core.sweep import SweepResult, sweep_from_results
 from repro.core.report import render_table, to_csv
 
 __all__ = [
@@ -61,6 +62,8 @@ __all__ = [
     "CompressionResult",
     "BenchmarkSuite",
     "SuiteResult",
+    "SweepResult",
+    "sweep_from_results",
     "render_table",
     "to_csv",
 ]

@@ -23,6 +23,13 @@ fine-grained:
   extended campaign resumes incrementally — cached and freshly-computed
   cells merge into a bit-identical suite.
 
+A campaign plan is really ``grid × seeds``: :class:`CampaignRunner`
+accepts a *seed list*, plans the same (stage, service, unit) grid once per
+seed (ascending), and :meth:`CampaignRunner.run_sweep` groups the per-seed
+results into a :class:`~repro.core.sweep.SweepResult` whose cross-seed
+statistics live in :mod:`repro.core.sweep`.  A single-seed campaign plans
+exactly the cell list it always did.
+
 Determinism: every cell carries the campaign seed, and each experiment
 derives its random streams from ``(seed, service, ...)`` labels
 (:func:`repro.randomness.derive_seed`), so a cell's output is a pure
@@ -120,10 +127,15 @@ class CampaignCell:
 
     @property
     def key(self) -> str:
-        """Stable identifier, e.g. ``"performance/dropbox/1x100kB"``."""
+        """Stable identifier, e.g. ``"performance/dropbox/1x100kB@7"``.
+
+        The seed is part of the key: a sweep plans the same (stage,
+        service, unit) grid once per seed, and claims, shard accounting and
+        merge diagnostics must tell those cells apart.
+        """
         if self.unit == WHOLE_SERVICE_UNIT:
-            return f"{self.stage}/{self.service}"
-        return f"{self.stage}/{self.service}/{self.unit}"
+            return f"{self.stage}/{self.service}@{self.seed}"
+        return f"{self.stage}/{self.service}/{self.unit}@{self.seed}"
 
 
 # --------------------------------------------------------------------------- #
@@ -375,6 +387,7 @@ class CampaignRunner:
         stages: Optional[Sequence[str]] = None,
         *,
         seed: int = DEFAULT_SEED,
+        seeds: Optional[Sequence[int]] = None,
         jobs: Optional[int] = None,
         config: Optional[CampaignConfig] = None,
         store: Optional[ResultStore] = None,
@@ -389,30 +402,45 @@ class CampaignRunner:
         # Deduplicate while keeping the canonical stage order.
         self.stages = [stage for stage in STAGES if stage in wanted]
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
-        self.seed = seed
+        # ``seeds`` turns the campaign into a sweep: the same grid is
+        # planned once per seed.  The list is deduplicated and sorted so a
+        # sweep's plan — and therefore every downstream artifact — is
+        # independent of the order the seeds were spelled in.
+        if seeds is not None:
+            self.seeds = sorted(dict.fromkeys(int(value) for value in seeds))
+            if not self.seeds:
+                raise ConfigurationError("a seed sweep needs at least one seed")
+        else:
+            self.seeds = [seed]
+        self.seed = self.seeds[0]
         self.config = config if config is not None else CampaignConfig()
         self.store = store
 
     def cells(self) -> List[CampaignCell]:
-        """The campaign plan: one cell per (stage, service, unit), stage-major.
+        """The sweep plan: one cell per (stage, service, unit, seed), seed-major.
 
-        Every cell carries the campaign seed; the per-cell random streams
-        are nevertheless independent because each experiment derives them
-        from ``(seed, service, ...)`` labels.  Keeping the seed undiluted
-        means a single-stage campaign reproduces the standalone experiment
+        The plan is the concatenation of one per-seed grid per sweep seed
+        (ascending seed order), each grid stage-major exactly as before —
+        so a single-seed campaign plans the identical cell list it always
+        did, and a sweep's per-seed slices each reproduce the single-seed
+        plan.  Every cell carries its sweep seed undiluted; the per-cell
+        random streams are nevertheless independent because each experiment
+        derives them from ``(seed, service, ...)`` labels.  A single-stage,
+        single-seed campaign therefore reproduces the standalone experiment
         (and the standalone CLI subcommand) bit-for-bit.  Within one
         (stage, service), units appear in the stage's canonical order, so
         folding in plan order reproduces the sequential run order exactly.
         """
         plan: List[CampaignCell] = []
-        for stage in self.stages:
-            spec = _spec(stage)
-            units = spec.units(self.config)
-            for service in self._stage_services(stage):
-                for unit in units:
-                    plan.append(
-                        CampaignCell(stage=stage, service=service, seed=self.seed, unit=unit, config=self.config)
-                    )
+        for seed in self.seeds:
+            for stage in self.stages:
+                spec = _spec(stage)
+                units = spec.units(self.config)
+                for service in self._stage_services(stage):
+                    for unit in units:
+                        plan.append(
+                            CampaignCell(stage=stage, service=service, seed=seed, unit=unit, config=self.config)
+                        )
         return plan
 
     def _stage_services(self, stage: str) -> List[str]:
@@ -431,10 +459,53 @@ class CampaignRunner:
         ``cells`` restricts execution to an explicit subset of the plan (in
         the order given) — this is how a shard worker (:mod:`repro.dist`)
         runs just its own slice of the grid against the shared store; the
-        merged suite then covers only those cells.
+        merged suite then covers only those cells.  For a multi-seed sweep
+        prefer :meth:`run_sweep`, which keeps the per-seed results apart;
+        ``run()`` folds whatever cells it executed into one suite.
         """
         plan = list(cells) if cells is not None else self.cells()
         started = time.perf_counter()
+        completed = self._execute(plan)
+        return CampaignResult(
+            suite=merge_cell_results(completed),
+            cells=completed,
+            seed=self.seed,
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def run_sweep(self) -> "SweepResult":
+        """Execute the full seed-expanded plan and group results per seed.
+
+        Every cell — across all sweep seeds — goes through the same store
+        consultation and process pool as :meth:`run`, so cache resume and
+        ``--jobs`` parallelism span the whole sweep; the completed cells
+        are then grouped into one :class:`~repro.core.campaign.CampaignResult`
+        per seed and reduced into a :class:`~repro.core.sweep.SweepResult`.
+        """
+        from repro.core.sweep import sweep_from_results  # circular-free: sweep builds on this module
+
+        started = time.perf_counter()
+        completed = self._execute(self.cells())
+        return sweep_from_results(
+            completed,
+            seeds=self.seeds,
+            jobs=self.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def run_cells(self, cells: Sequence[CampaignCell]) -> List[CellResult]:
+        """Execute the given cells and return the results, without merging.
+
+        Same store-aware, parallel execution as :meth:`run`, but no
+        :class:`SuiteResult` fold — shard workers (:mod:`repro.dist`) use
+        this for their slice, whose cells may span several sweep seeds and
+        therefore have no meaningful single merged suite.
+        """
+        return self._execute(list(cells))
+
+    def _execute(self, plan: Sequence[CampaignCell]) -> List[CellResult]:
+        """Run the given cells (store-aware, possibly in parallel), plan order."""
         results: List[Optional[CellResult]] = [None] * len(plan)
         pending: List[int] = []
         for index, cell in enumerate(plan):
@@ -453,15 +524,7 @@ class CampaignRunner:
                 # land by plan index, so merging stays in plan order.
                 for future in as_completed(futures):
                     results[futures[future]] = self._completed(future.result())
-        wall = time.perf_counter() - started
-        completed = [result for result in results if result is not None]
-        return CampaignResult(
-            suite=merge_cell_results(completed),
-            cells=completed,
-            seed=self.seed,
-            jobs=self.jobs,
-            wall_seconds=wall,
-        )
+        return [result for result in results if result is not None]
 
     def _completed(self, result: CellResult) -> CellResult:
         if self.store is not None:

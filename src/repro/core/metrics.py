@@ -54,15 +54,47 @@ class PerformanceMetrics:
         }
 
 
+def _quantile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation quantile of an ascending-sorted, non-empty sequence.
+
+    Uses the ``(n - 1) * fraction`` order-statistic position (the common
+    "linear" method), so the result is a pure function of the values —
+    deterministic across platforms, which the sweep documents rely on.
+    """
+    position = (len(ordered) - 1) * fraction
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
 @dataclass(frozen=True)
 class MetricAggregate:
-    """Mean and standard deviation of one metric over repetitions."""
+    """Robust summary statistics of one metric over repeated samples.
+
+    Serves both the intra-cell repetitions of one experiment and the
+    cross-seed aggregation of a sweep (:mod:`repro.core.sweep`): mean,
+    population standard deviation, median, quartiles (``q1``/``q3``, linear
+    interpolation), extrema and the sample count.  Use
+    :meth:`from_values` — the quantile fields of a hand-built instance
+    default to ``0.0``.
+    """
 
     mean: float
     std: float
     minimum: float
     maximum: float
     count: int
+    median: float = 0.0
+    q1: float = 0.0
+    q3: float = 0.0
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range: ``q3 - q1``."""
+        return self.q3 - self.q1
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "MetricAggregate":
@@ -71,7 +103,17 @@ class MetricAggregate:
             raise ExperimentError("cannot aggregate an empty list of values")
         mean = sum(values) / len(values)
         variance = sum((value - mean) ** 2 for value in values) / len(values)
-        return cls(mean=mean, std=math.sqrt(variance), minimum=min(values), maximum=max(values), count=len(values))
+        ordered = sorted(values)
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            count=len(ordered),
+            median=_quantile(ordered, 0.5),
+            q1=_quantile(ordered, 0.25),
+            q3=_quantile(ordered, 0.75),
+        )
 
 
 def compute_performance_metrics(observation: Observation, workload_label: Optional[str] = None) -> PerformanceMetrics:

@@ -36,6 +36,7 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
@@ -181,6 +182,38 @@ class ResultStore:
             return None
         return entry
 
+    def _is_schema_foreign(self, path: str) -> bool:
+        """Whether an entry belongs to a different schema *or code* version.
+
+        This is the explicit-GC classifier behind ``prune(schema_foreign=
+        True)``.  Unlike the cache-miss path (:meth:`_read_entry`, which
+        deliberately keeps version-skew pickles alive so mixed-version
+        runners on a shared store cannot destroy each other's work), an
+        operator asking for schema-foreign GC wants exactly those files
+        gone: entries that unpickle to a foreign ``schema`` *and* entries
+        whose pickle cannot load under this code version at all
+        (AttributeError/ImportError).  Transient read errors stay off the
+        kill list; genuinely corrupt files are healed as usual.
+        """
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (AttributeError, ImportError):
+            return True  # pickled by a different code version
+        except (pickle.UnpicklingError, EOFError, IndexError) as error:
+            self._discard_corrupt(path, error)
+            return False  # already gone: healed, not pruned
+        except OSError:
+            return False
+        return not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA_VERSION
+
+    def _entry_cell(self, path: str) -> Optional["CampaignCell"]:
+        """The cell identity of one readable, current-schema entry file."""
+        entry = self._read_entry(path)
+        if entry is None or entry.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        return getattr(entry.get("result"), "cell", None)
+
     def _discard_corrupt(self, path: str, error: Exception) -> None:
         logger.warning("discarding corrupt store entry %s (%s: %s)", path, type(error).__name__, error)
         try:
@@ -239,31 +272,62 @@ class ResultStore:
                 continue
             yield StoreEntry(result=result, path=path, runner=entry.get("runner"))
 
-    def prune(self, *, stage: Optional[str] = None, service: Optional[str] = None) -> int:
+    def prune(
+        self,
+        *,
+        stage: Optional[str] = None,
+        service: Optional[str] = None,
+        older_than: Optional[float] = None,
+        schema_foreign: bool = False,
+    ) -> int:
         """Delete entries matching the given selectors; returns the count.
 
-        With no selector every entry file is removed (``cloudbench cache rm
-        --all``) — including foreign-schema entries that the selector-based
-        paths cannot address — along with any leftover work-stealing claim
-        files.
+        ``older_than`` is a TTL in seconds: only entries whose file mtime
+        (i.e. the moment their result last landed) is older than that age
+        are removed — the store-compaction GC behind ``cloudbench cache rm
+        --older-than 7d``.  The age filter runs *first* (a cheap ``stat``),
+        so a TTL pass never unpickles — or heals — entries the cutoff
+        excludes.  ``schema_foreign`` selects entries written under a
+        *different* :data:`STORE_SCHEMA_VERSION` or an incompatible code
+        version — the one class of file the ordinary selectors cannot
+        address because their identity cannot be trusted; it therefore
+        ignores ``stage``/``service`` but still honors ``older_than``.
+
+        With no selector at all every entry file is removed (``cloudbench
+        cache rm --all``) — including foreign-schema entries — along with
+        any leftover work-stealing claim files.
         """
         removed = 0
-        if stage is None and service is None:
-            paths = list(self.entries())
-        else:
-            paths = [
-                entry.path
-                for entry in self.entries_with_meta()
-                if (stage is None or entry.cell.stage == stage)
-                and (service is None or entry.cell.service == service)
-            ]
+        wipe_all = stage is None and service is None and older_than is None and not schema_foreign
+        paths = list(self.entries())
+        if older_than is not None:
+            cutoff = time.time() - older_than
+            aged = []
+            for path in paths:
+                try:
+                    if os.stat(path).st_mtime <= cutoff:
+                        aged.append(path)
+                except OSError:  # pragma: no cover - racing deleters are fine
+                    pass
+            paths = aged
+        if schema_foreign:
+            paths = [path for path in paths if self._is_schema_foreign(path)]
+        elif stage is not None or service is not None:
+            selected = []
+            for path in paths:
+                cell = self._entry_cell(path)
+                if cell is None:
+                    continue
+                if (stage is None or cell.stage == stage) and (service is None or cell.service == service):
+                    selected.append(path)
+            paths = selected
         for path in paths:
             try:
                 os.unlink(path)
                 removed += 1
             except OSError:  # pragma: no cover - racing deleters are fine
                 pass
-        if stage is None and service is None:
+        if wipe_all:
             claims = self.claims_root()
             if os.path.isdir(claims):
                 for name in os.listdir(claims):

@@ -21,7 +21,12 @@ happens in plan order, the merged suite — tables, CSVs and the
 deterministic ``--json`` document — is bit-identical to what a sequential
 ``cloudbench all --jobs 1`` produces for the same seed and config, no
 matter how many workers took part, how work was split, or how often a
-worker died and was relaunched.
+worker died and was relaunched.  The same holds for multi-seed sweeps:
+workers shard the seed-expanded plan (the seed is a plan dimension, so the
+dealing stays disjoint and exhaustive across seeds), and the merger folds
+the store back into a per-seed-grouped :class:`~repro.core.sweep.SweepResult`
+whose sweep document matches ``cloudbench all --seeds ... --json`` byte for
+byte.
 """
 
 from __future__ import annotations
@@ -38,10 +43,10 @@ from repro.core.campaign import (
     CampaignResult,
     CampaignRunner,
     CellResult,
-    merge_cell_results,
     run_cell,
 )
 from repro.core.store import ResultStore
+from repro.core.sweep import SweepResult, sweep_from_results
 from repro.dist.claims import DEFAULT_LEASE_TIMEOUT, ClaimBoard
 from repro.dist.plan import ShardPlan, ShardSpec
 from repro.errors import DistributionError
@@ -136,13 +141,13 @@ class ShardWorker:
         computes the remainder.
         """
         cells = ShardPlan(self.runner.cells(), spec.count).shard(spec.index)
-        campaign = self.runner.run(cells=cells)
+        results = self.runner.run_cells(cells)
         return WorkerReport(
             runner=self.runner_id,
             mode=f"shard {spec}",
             planned=len(cells),
-            computed=[result.cell.key for result in campaign.cells if not result.cached],
-            hits=campaign.cache_hits(),
+            computed=[result.cell.key for result in results if not result.cached],
+            hits=sum(1 for result in results if result.cached),
         )
 
     # Work stealing -------------------------------------------------------- #
@@ -219,11 +224,38 @@ class ShardWorker:
 
 @dataclass
 class MergedCampaign:
-    """A merged distributed campaign: the result plus per-runner accounting."""
+    """A merged distributed campaign: the result plus per-runner accounting.
 
-    campaign: CampaignResult
+    ``sweep`` groups the collected cells per seed
+    (:class:`~repro.core.sweep.SweepResult`) — for a single-seed campaign
+    it holds exactly one per-seed campaign; for a multi-seed sweep it is
+    the artifact ``cloudbench merge --seeds`` reports.  :attr:`campaign`
+    is the single-seed view and raises for a multi-seed merge: folding
+    cells of several seeds into one suite would silently mix semantics
+    (map-folded stages would keep only the last seed, list-folded stages
+    would duplicate rows per seed).
+    """
+
+    sweep: SweepResult
     runner_cells: Dict[str, int]  # runner id -> cells computed
     runner_cpu: Dict[str, float]  # runner id -> summed cell wall-clock
+
+    @property
+    def campaign(self) -> CampaignResult:
+        """The merged single-seed campaign result.
+
+        Reuses the sweep's already-folded suite.  For a multi-seed merge
+        there is no meaningful single ``CampaignResult`` — use
+        :attr:`sweep` (per-seed campaigns plus cross-seed aggregates);
+        accessing this raises :class:`~repro.errors.DistributionError`.
+        """
+        campaigns = self.sweep.campaigns
+        if len(campaigns) != 1:
+            raise DistributionError(
+                f"a {len(campaigns)}-seed merge has no single merged campaign; "
+                "read .sweep for per-seed campaigns and cross-seed aggregates"
+            )
+        return campaigns[0]
 
     def runner_rows(self) -> List[dict]:
         """Per-runner accounting rows for the merge report table."""
@@ -315,10 +347,9 @@ class CampaignMerger:
                 raise DistributionError(self._missing_message(missing, "timed out waiting for"))
             time.sleep(self.poll_interval)
         results = [entry.result for entry in entries]
-        campaign = CampaignResult(
-            suite=merge_cell_results(results),
-            cells=results,
-            seed=self.runner.seed,
+        sweep = sweep_from_results(
+            results,
+            seeds=self.runner.seeds,
             jobs=self.runner.jobs,
             wall_seconds=time.perf_counter() - started,
         )
@@ -328,7 +359,7 @@ class CampaignMerger:
             tag = entry.runner if entry.runner is not None else "(untagged)"
             runner_cells[tag] += 1
             runner_cpu[tag] = runner_cpu.get(tag, 0.0) + entry.result.wall_seconds
-        return MergedCampaign(campaign=campaign, runner_cells=dict(runner_cells), runner_cpu=runner_cpu)
+        return MergedCampaign(sweep=sweep, runner_cells=dict(runner_cells), runner_cpu=runner_cpu)
 
     def _missing_message(self, missing: List["object"], verb: str) -> str:
         keys = [cell.key for cell in missing]

@@ -5,9 +5,12 @@ It must be computable by every runner independently — there is no
 coordinator process — so it is a pure function of the campaign plan
 (:meth:`repro.core.campaign.CampaignRunner.cells`, itself deterministic)
 and the shard count.  Cells are dealt round-robin in plan order: cell ``j``
-goes to shard ``j mod N``.  Because the plan is stage-major, round-robin
-dealing interleaves every stage across all shards, so no shard ends up
-holding only the expensive performance cells.
+goes to shard ``j mod N``.  Because each seed's grid is stage-major,
+round-robin dealing interleaves every stage across all shards, so no shard
+ends up holding only the expensive performance cells; for a multi-seed
+sweep the plan is simply longer (seed-major concatenation of per-seed
+grids), and the same dealing spreads every seed's cells across all shards
+— disjoint and exhaustive over the full ``grid × seeds`` plan.
 
 Shard indices are 1-based on the CLI (``--shard 1/4`` … ``--shard 4/4``)
 to match how people number machines; :class:`ShardSpec` keeps that

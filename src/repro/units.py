@@ -9,10 +9,100 @@ rest of the code base always stores:
 * rates in **bits per second** (``float``).
 
 The helpers below convert the human-friendly spellings used in the paper to
-those canonical units and back again for reporting.
+those canonical units and back again for reporting.  This module also hosts
+the small CLI-value grammars shared across subcommands —
+:func:`parse_seeds` for ``--seeds`` sweep specs and :func:`parse_duration`
+for ``--older-than`` store-GC ages — so ``all``/``shard``/``merge`` and
+``cache rm`` cannot drift apart in what they accept.
 """
 
 from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import ConfigurationError
+
+#: One ``--seeds`` item: a single integer or an inclusive ``A..B`` range.
+_SEED_ITEM = re.compile(r"^(-?\d+)(?:\.\.(-?\d+))?$")
+
+#: A ``--older-than`` age: a number plus an optional s/m/h/d/w suffix.
+_DURATION = re.compile(r"^(\d+(?:\.\d+)?)\s*([smhdw]?)$")
+
+_DURATION_SECONDS = {"": 1.0, "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+#: The accepted ``--seeds`` grammar, quoted by every parse error.
+SEEDS_GRAMMAR = (
+    "comma-separated integers and inclusive ranges, e.g. '7', '7,8,9' or '7,8,10..12' "
+    "(A..B requires A <= B; duplicates are dropped and the list is sorted)"
+)
+
+#: Upper bound on the seeds one sweep spec may expand to.  A campaign of
+#: this size is already far past practical; the cap turns a fat-fingered
+#: range like ``1..1000000000`` into a clean error instead of an eager
+#: billion-element list that freezes the machine.
+MAX_SWEEP_SEEDS = 10_000
+
+#: The accepted ``--older-than`` grammar, quoted by every parse error.
+DURATION_GRAMMAR = "a number with an optional s/m/h/d/w suffix, e.g. '90', '45s', '30m', '12h', '7d', '2w'"
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Parse a ``--seeds`` sweep spec like ``"7,8,10..12"``.
+
+    Returns the seeds sorted ascending with duplicates removed — the
+    normal form the campaign planner uses, so two spellings of the same
+    seed set always plan the identical sweep.  Raises
+    :class:`~repro.errors.ConfigurationError` (quoting the grammar) on
+    anything else.
+    """
+    seeds: dict = {}  # insertion-ordered set: dedupe while accumulating
+    items = [item.strip() for item in text.split(",")]
+    if not any(items):
+        raise ConfigurationError(f"--seeds selects no seed; accepted: {SEEDS_GRAMMAR}")
+    for item in items:
+        if not item:
+            raise ConfigurationError(f"empty item in seed spec {text!r}; accepted: {SEEDS_GRAMMAR}")
+        match = _SEED_ITEM.match(item)
+        if match is None:
+            raise ConfigurationError(f"invalid seed item {item!r}; accepted: {SEEDS_GRAMMAR}")
+        first = int(match.group(1))
+        if match.group(2) is None:
+            seeds[first] = None
+        else:
+            last = int(match.group(2))
+            if last < first:
+                raise ConfigurationError(
+                    f"descending seed range {item!r} (ranges are A..B with A <= B); accepted: {SEEDS_GRAMMAR}"
+                )
+            if last - first + 1 > MAX_SWEEP_SEEDS:
+                raise ConfigurationError(
+                    f"seed range {item!r} expands to {last - first + 1} seeds; "
+                    f"one sweep is capped at {MAX_SWEEP_SEEDS}"
+                )
+            for value in range(first, last + 1):
+                seeds[value] = None
+        # The cap applies to *unique* seeds, so overlapping ranges that
+        # denote a legal sweep are not rejected for their raw item count.
+        if len(seeds) > MAX_SWEEP_SEEDS:
+            raise ConfigurationError(
+                f"seed spec {text!r} expands to more than {MAX_SWEEP_SEEDS} seeds; "
+                f"one sweep is capped at {MAX_SWEEP_SEEDS}"
+            )
+    return sorted(seeds)
+
+
+def parse_duration(text: str) -> float:
+    """Parse an age/duration spec like ``"12h"`` into seconds.
+
+    Bare numbers are seconds; ``s``/``m``/``h``/``d``/``w`` suffixes scale
+    accordingly.  Raises :class:`~repro.errors.ConfigurationError` (quoting
+    the grammar) on anything else.
+    """
+    match = _DURATION.match(text.strip())
+    if match is None:
+        raise ConfigurationError(f"invalid duration {text!r}; accepted: {DURATION_GRAMMAR}")
+    return float(match.group(1)) * _DURATION_SECONDS[match.group(2)]
 
 #: Bytes in a kilobyte (decimal, as used in the paper: "100 kB", "10 kB").
 KB = 1000

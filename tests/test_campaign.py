@@ -42,7 +42,8 @@ class TestCampaignPlan:
     def test_performance_splits_into_per_workload_unit_cells(self):
         cells = CampaignRunner(["dropbox"], ["performance"], config=CONFIG).cells()
         assert [cell.unit for cell in cells] == [workload.name for workload in PAPER_WORKLOADS]
-        assert [cell.key for cell in cells] == [f"performance/dropbox/{w.name}" for w in PAPER_WORKLOADS]
+        seed = cells[0].seed
+        assert [cell.key for cell in cells] == [f"performance/dropbox/{w.name}@{seed}" for w in PAPER_WORKLOADS]
 
     def test_delta_and_compression_split_into_unit_cells(self):
         delta = CampaignRunner(["dropbox"], ["delta"], config=CONFIG).cells()
@@ -53,7 +54,7 @@ class TestCampaignPlan:
     def test_stages_without_sub_units_plan_whole_service_cells(self):
         cells = CampaignRunner(SERVICES, ["idle", "capabilities"], config=CONFIG).cells()
         assert {cell.unit for cell in cells} == {WHOLE_SERVICE_UNIT}
-        assert cells[0].key == "capabilities/dropbox"  # no unit suffix
+        assert cells[0].key == f"capabilities/dropbox@{cells[0].seed}"  # no unit suffix
 
     def test_default_campaign_schedules_more_cells_than_flat_grid(self):
         # Acceptance: the unit-cell plan is strictly finer than the old

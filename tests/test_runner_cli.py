@@ -280,3 +280,124 @@ class TestDistributedCLI:
             main(["cache", "rm", "--store", str(tmp_path / "store")])
         with pytest.raises(SystemExit):
             main(["cache", "rm", "--store", str(tmp_path / "store"), "--all", "--stage", "idle"])
+        with pytest.raises(SystemExit):
+            main(["cache", "rm", "--store", str(tmp_path / "store"), "--all", "--older-than", "1h"])
+        with pytest.raises(SystemExit):
+            main(["cache", "rm", "--store", str(tmp_path / "store"), "--schema-foreign", "--stage", "idle"])
+
+    def test_cache_rm_older_than_gc(self, tmp_path, capsys):
+        import os
+        import time
+
+        store = str(tmp_path / "store")
+        base = ["--services", "googledrive", "--seed", "13"]
+        assert main(base + ["shard", "--stages", "idle", "--minutes", "1", "--store", store, "--steal", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["cache", "rm", "--store", store, "--older-than", "bogus"])
+        assert main(["cache", "rm", "--store", store, "--older-than", "1h"]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        for dirpath, _, filenames in os.walk(store):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                aged = time.time() - 7200.0
+                os.utime(path, (aged, aged))
+        assert main(["cache", "rm", "--store", store, "--older-than", "1h"]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+
+    def test_cache_rm_schema_foreign_flag(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--services", "googledrive", "--seed", "13"]
+        assert main(base + ["shard", "--stages", "idle", "--minutes", "1", "--store", store, "--steal", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "rm", "--store", store, "--schema-foreign"]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out  # nothing foreign yet
+
+    def test_cache_ls_is_sorted_by_stage_service_unit_seed(self, tmp_path):
+        from repro.cli import store_listing_rows
+        from repro.core.campaign import CampaignCell, CampaignConfig, run_cell
+        from repro.core.store import ResultStore
+
+        config = CampaignConfig(repetitions=1, idle_duration=60.0, resolver_count=50)
+        store = ResultStore(str(tmp_path / "store"))
+        # Save deliberately out of campaign/service/seed order.
+        for stage, service, unit, seed in (
+            ("performance", "wuala", "1x1MB", 9),
+            ("idle", "dropbox", "-", 9),
+            ("performance", "dropbox", "1x100kB", 7),
+            ("idle", "dropbox", "-", 7),
+        ):
+            store.save(run_cell(CampaignCell(stage=stage, service=service, seed=seed, unit=unit, config=config)))
+        listed = [(row["stage"], row["service"], row["unit"], row["seed"]) for row in store_listing_rows(store)]
+        assert listed == [
+            ("idle", "dropbox", "-", 7),
+            ("idle", "dropbox", "-", 9),
+            ("performance", "dropbox", "1x100kB", 7),
+            ("performance", "wuala", "1x1MB", 9),
+        ]
+
+
+class TestSweepCLI:
+    SWEEP = ["--stages", "idle,performance", "--minutes", "1", "--repetitions", "1"]
+
+    def test_all_seeds_rejects_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["--services", "googledrive", "all", "--stages", "idle", "--seeds", "5..3"])
+        with pytest.raises(SystemExit):
+            main(["--services", "googledrive", "all", "--stages", "idle", "--seeds", "a,b"])
+
+    def test_all_multi_seed_prints_aggregates_and_writes_sweep_json(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        argv = ["--services", "googledrive", "all", *self.SWEEP, "--jobs", "1",
+                "--seeds", "7,9", "--json", str(json_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Seed sweep — 2 seed(s): 7, 9" in out
+        assert "Cross-seed aggregates — performance (n=2)" in out
+        assert "sweep wall-clock" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == 2 and payload["seeds"] == [7, 9]
+        assert len(payload["per_seed"]) == 2
+
+    def test_all_single_seed_via_seeds_flag_matches_legacy_json(self, tmp_path):
+        legacy = tmp_path / "legacy.json"
+        swept = tmp_path / "swept.json"
+        base = ["--services", "googledrive", "all", *self.SWEEP, "--jobs", "1"]
+        assert main(["--seed", "7", *base, "--json", str(legacy)]) == 0
+        assert main(base + ["--seeds", "7", "--json", str(swept)]) == 0
+        assert legacy.read_bytes() == swept.read_bytes()
+
+    def test_sweep_json_byte_identical_across_jobs_and_seed_order(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        base = ["--services", "googledrive", "all", *self.SWEEP]
+        assert main(base + ["--jobs", "1", "--seeds", "7,9", "--json", str(first)]) == 0
+        assert main(base + ["--jobs", "2", "--seeds", "9,7", "--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_sharded_sweep_merge_byte_identical(self, tmp_path, capsys):
+        sequential = tmp_path / "sequential.json"
+        base = ["--services", "googledrive"]
+        sweep_args = [*self.SWEEP, "--seeds", "7,9"]
+        assert main(base + ["all", *sweep_args, "--jobs", "1", "--json", str(sequential)]) == 0
+        store = str(tmp_path / "store")
+        assert main(base + ["shard", *sweep_args, "--store", store, "--shard", "1/2", "--jobs", "1", "--runner-id", "w1"]) == 0
+        assert main(base + ["shard", *sweep_args, "--store", store, "--shard", "2/2", "--jobs", "1", "--runner-id", "w2"]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert main(base + ["merge", *sweep_args, "--store", store, "--json", str(merged)]) == 0
+        merge_out = capsys.readouterr().out
+        assert "Seed sweep — 2 seed(s): 7, 9" in merge_out
+        assert "Per-runner accounting" in merge_out
+        assert merged.read_bytes() == sequential.read_bytes()
+
+    def test_sweep_csv_writes_per_stage_aggregates(self, tmp_path, capsys):
+        csv_path = tmp_path / "agg.csv"
+        argv = ["--services", "googledrive", "--csv", str(csv_path),
+                "all", *self.SWEEP, "--jobs", "1", "--seeds", "7,9"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        performance_csv = tmp_path / "agg.performance.csv"
+        assert (tmp_path / "agg.idle.csv").exists() and performance_csv.exists()
+        header = performance_csv.read_text().splitlines()[0]
+        assert header == "service,unit,row,label,metric,mean,std,median,q1,q3,iqr,min,max,n"

@@ -194,6 +194,83 @@ class TestResultStoreRoundTrip:
         assert store.prune() == 1
         assert len(store) == 0
 
+    def test_prune_older_than_removes_only_aged_entries(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        old_cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        new_cell = CampaignCell(stage="idle", service="wuala", seed=5, config=CONFIG)
+        old_path = store.save(run_cell(old_cell))
+        store.save(run_cell(new_cell))
+        aged = os.stat(old_path).st_mtime - 7200.0
+        os.utime(old_path, (aged, aged))
+        assert store.prune(older_than=86400.0) == 0  # nothing is a day old
+        assert store.prune(older_than=3600.0) == 1  # only the aged entry
+        assert store.load(old_cell) is None
+        assert store.load(new_cell) is not None
+
+    def test_prune_older_than_combines_with_stage_selector(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        idle = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        syn = CampaignCell(stage="syn_series", service="googledrive", seed=5, config=CONFIG)
+        for cell in (idle, syn):
+            path = store.save(run_cell(cell))
+            aged = os.stat(path).st_mtime - 7200.0
+            os.utime(path, (aged, aged))
+        assert store.prune(stage="idle", older_than=3600.0) == 1
+        assert store.load(idle) is None and store.load(syn) is not None
+
+    def test_prune_schema_foreign_removes_only_foreign_entries(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        native = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        foreign = CampaignCell(stage="idle", service="wuala", seed=5, config=CONFIG)
+        store.save(run_cell(native))
+        path = store.save(run_cell(foreign))
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["schema"] = STORE_SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle)
+        assert store.prune(schema_foreign=True) == 1
+        assert not os.path.exists(path)
+        assert store.load(native) is not None
+
+    def test_prune_schema_foreign_removes_version_skew_pickles(self, tmp_path):
+        # The cache-miss path deliberately keeps version-skew pickles on a
+        # shared store, but explicit --schema-foreign GC must remove them —
+        # they are exactly the files selector-based rm cannot address.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "wb") as handle:
+            handle.write(b"crepro.no_such_module\nThing\n.")  # GLOBAL of a missing module
+        assert store.prune(schema_foreign=True) == 1
+        assert not os.path.exists(path)
+
+    def test_prune_schema_foreign_honors_older_than(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "rb") as handle:
+            entry = pickle.load(handle)
+        entry["schema"] = STORE_SCHEMA_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(entry, handle)
+        assert store.prune(schema_foreign=True, older_than=3600.0) == 0  # too fresh
+        aged = os.stat(path).st_mtime - 7200.0
+        os.utime(path, (aged, aged))
+        assert store.prune(schema_foreign=True, older_than=3600.0) == 1
+
+    def test_ttl_pass_spares_fresh_corrupt_entries(self, tmp_path):
+        # The age filter runs before classification: a TTL-limited
+        # schema-foreign sweep must neither delete nor "heal" (discard) a
+        # corrupt entry younger than the cutoff.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        with open(path, "wb") as handle:
+            handle.write(b"\x80")  # torn pickle, freshly written
+        assert store.prune(schema_foreign=True, older_than=3600.0) == 0
+        assert os.path.exists(path)  # untouched: younger than the cutoff
+
     def test_prune_all_clears_leftover_claim_files(self, tmp_path):
         store = ResultStore(str(tmp_path))
         claims = store.claims_root()
