@@ -38,7 +38,19 @@ from repro.core.metrics import PerformanceMetrics, compute_performance_metrics
 from repro.core.report import render_grouped_bars, render_series, render_table, to_csv
 from repro.core.runner import BenchmarkSuite, SuiteResult
 from repro.core.workloads import PAPER_WORKLOADS, WorkloadSpec, workload_by_name
-from repro.services.registry import SERVICE_NAMES, create_client, get_profile, register_service
+from repro.netsim.scenario import BASELINE, BUILTIN_SCENARIOS, ScenarioSpec, get_scenario, register_scenario
+from repro.services.registry import (
+    SERVICE_NAMES,
+    create_client,
+    get_profile,
+    get_spec,
+    register_service,
+    register_service_spec,
+    register_services_from_file,
+    temporary_services,
+    unregister_service,
+)
+from repro.services.spec import ServiceSpec, load_service_specs
 from repro.testbed.controller import Observation, TestbedController
 
 __version__ = "1.0.0"
@@ -65,6 +77,18 @@ __all__ = [
     "create_client",
     "get_profile",
     "register_service",
+    "register_service_spec",
+    "register_services_from_file",
+    "unregister_service",
+    "temporary_services",
+    "get_spec",
+    "ServiceSpec",
+    "load_service_specs",
+    "ScenarioSpec",
+    "BASELINE",
+    "BUILTIN_SCENARIOS",
+    "get_scenario",
+    "register_scenario",
     "TestbedController",
     "Observation",
     "render_table",

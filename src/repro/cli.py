@@ -82,6 +82,7 @@ from repro.core.campaign import (
     CampaignRunner,
     default_jobs,
     suite_stage_rows,
+    syn_series_services,
 )
 from repro.core.store import DEFAULT_CACHE_DIR, ResultStore
 from repro.core.experiments.compression import CompressionExperiment
@@ -96,8 +97,9 @@ from repro.core.runner import BenchmarkSuite
 from repro.core.workloads import PAPER_WORKLOADS
 from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse_shard_spec
 from repro.errors import ConfigurationError, DistributionError
+from repro.netsim.scenario import ScenarioSpec, get_scenario, register_scenarios_from_file, registered_scenarios
 from repro.randomness import DEFAULT_SEED
-from repro.services.registry import SERVICE_NAMES
+from repro.services.registry import SERVICE_NAMES, register_services_from_file
 from repro.units import minutes, parse_duration, parse_seeds
 
 __all__ = ["main", "build_parser"]
@@ -114,8 +116,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated list of services to benchmark "
-            f"(default: all five from the paper: {','.join(SERVICE_NAMES)})"
+            f"(default: every registered service; the paper's five are {','.join(SERVICE_NAMES)})"
         ),
+    )
+    parser.add_argument(
+        "--services-file",
+        dest="services_file",
+        default=None,
+        help=(
+            "register every service defined in this TOML/JSON spec file "
+            "([[service]] tables) before running; spec-defined services are "
+            "addressable via --services and join the default service list"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default="baseline",
+        help=(
+            "network scenario every path runs under (RTT/bandwidth/loss/jitter "
+            f"overrides); built-ins: {', '.join(registered_scenarios())} "
+            "(default: baseline, the paper's campus network)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario-file",
+        dest="scenario_file",
+        default=None,
+        help="register every scenario defined in this TOML/JSON spec file ([[scenario]] tables)",
     )
     parser.add_argument("--csv", default=None, help="also write the result rows to this CSV file")
     parser.add_argument(
@@ -348,6 +375,7 @@ def _campaign_runner(
     parser: argparse.ArgumentParser,
     args: argparse.Namespace,
     services: List[str],
+    scenario: ScenarioSpec,
     *,
     store: Optional[ResultStore],
     jobs: int,
@@ -357,9 +385,10 @@ def _campaign_runner(
 
     shard/merge rebuild the campaign *plan* from the same flags and
     defaults as `all`, so every cooperating runner (and the merger)
-    addresses identical store keys — including the seed list of a sweep.
-    ``seeds`` lets a caller that already parsed the spec pass it through
-    instead of parsing twice.
+    addresses identical store keys — including the seed list of a sweep,
+    the ``--scenario`` and any ``--services-file``/``--scenario-file``
+    registrations.  ``seeds`` lets a caller that already parsed the spec
+    pass it through instead of parsing twice.
     """
     try:
         return CampaignRunner(
@@ -371,6 +400,7 @@ def _campaign_runner(
                 repetitions=args.repetitions,
                 idle_duration=minutes(args.minutes),
                 resolver_count=args.resolvers,
+                scenario=scenario,
             ),
             store=store,
         )
@@ -442,6 +472,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``cloudbench`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        # Register declarative specs first: spec-defined services and
+        # scenarios are then first-class citizens of every flag below.
+        if args.scenario_file is not None:
+            register_scenarios_from_file(args.scenario_file)
+        if args.services_file is not None:
+            register_services_from_file(args.services_file)
+        scenario = get_scenario(args.scenario)
+    except ConfigurationError as error:
+        parser.error(str(error))
     if args.services:
         services = [name.strip().lower() for name in args.services.split(",") if name.strip()]
         unknown = [name for name in services if name not in SERVICE_NAMES]
@@ -451,10 +491,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         services = list(SERVICE_NAMES)
 
     if args.command == "capabilities":
-        matrix = CapabilityProber(seed=args.seed).build_matrix(services)
+        matrix = CapabilityProber(seed=args.seed, scenario=scenario).build_matrix(services)
         _emit(matrix.rows(), render_table(matrix.rows(), title="Table 1 - capabilities"), args.csv)
     elif args.command == "idle":
-        result = IdleExperiment(services, duration=minutes(args.minutes), seed=args.seed).run()
+        result = IdleExperiment(services, duration=minutes(args.minutes), seed=args.seed, scenario=scenario).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 1 - idle/background traffic"), args.csv)
     elif args.command == "datacenters":
         result = DataCenterExperiment(services, resolver_count=args.resolvers, seed=args.seed).run()
@@ -464,17 +504,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text += f"\n\nGoogle Drive edge locations discovered: {len(edges)}"
         _emit(result.rows(), text, args.csv)
     elif args.command == "connections":
-        wanted = [name for name in ("clouddrive", "googledrive") if name in services] or services
-        result = SynSeriesExperiment(wanted, seed=args.seed).run()
+        wanted = syn_series_services(services)
+        result = SynSeriesExperiment(wanted, seed=args.seed, scenario=scenario).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 3 - TCP connections (100x10kB)"), args.csv)
     elif args.command == "delta":
-        result = DeltaEncodingExperiment(services, seed=args.seed).run()
+        result = DeltaEncodingExperiment(services, seed=args.seed, scenario=scenario).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 4 - delta encoding"), args.csv)
     elif args.command == "compression":
-        result = CompressionExperiment(services, seed=args.seed).run()
+        result = CompressionExperiment(services, seed=args.seed, scenario=scenario).run()
         _emit(result.rows(), render_table(result.rows(), title="Fig. 5 - compression"), args.csv)
     elif args.command == "performance":
-        result = PerformanceExperiment(services, repetitions=args.repetitions, seed=args.seed).run()
+        result = PerformanceExperiment(services, repetitions=args.repetitions, seed=args.seed, scenario=scenario).run()
         workload_order = [workload.name for workload in PAPER_WORKLOADS]
         text = "\n\n".join(
             [
@@ -498,7 +538,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # statistics.  (A single seed keeps the legacy campaign path —
             # and its byte-identical output — below.)
             store = ResultStore(cache_dir) if cache_dir is not None else None
-            runner = _campaign_runner(parser, args, services, store=store, jobs=jobs, seeds=seeds)
+            runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=jobs, seeds=seeds)
             sweep = runner.run_sweep()
             print(sweep.summary_text())
             print()
@@ -526,6 +566,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             idle_duration=minutes(args.minutes),
             resolver_count=args.resolvers,
             seed=seeds[0],
+            scenario=scenario,
         )
         stages = _parse_stages(parser, args)
         try:
@@ -560,7 +601,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "shard":
         jobs = args.jobs if args.jobs is not None else default_jobs()
         store = ResultStore(args.store)
-        runner = _campaign_runner(parser, args, services, store=store, jobs=jobs)
+        runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=jobs)
         try:
             spec = parse_shard_spec(args.shard_spec) if args.shard_spec is not None else None
             worker = ShardWorker(
@@ -582,7 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.command == "merge":
         store = ResultStore(args.store)
-        runner = _campaign_runner(parser, args, services, store=store, jobs=1)
+        runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=1)
         merger = CampaignMerger(runner)
         try:
             merged = merger.collect(wait=args.wait, timeout=args.timeout)

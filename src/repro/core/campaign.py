@@ -59,16 +59,26 @@ from repro.core.experiments.performance import PerformanceExperiment, Performanc
 from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
 from repro.core.store import ResultStore
 from repro.core.workloads import PAPER_WORKLOADS, workload_by_name
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownServiceError
 from repro.filegen.model import FileKind
+from repro.netsim.scenario import BASELINE, ScenarioSpec
 from repro.randomness import DEFAULT_SEED
-from repro.services.registry import SERVICE_NAMES
+from repro.services.registry import (
+    SERVICE_NAMES,
+    get_profile,
+    install_registered_specs,
+    registry_sync_payload,
+)
 from repro.units import minutes
 
 __all__ = [
     "STAGES",
+    "SYN_SERIES_SERVICES",
+    "syn_series_services",
     "WHOLE_SERVICE_UNIT",
     "RESULTS_DOC_VERSION",
+    "worker_service_payload",
+    "init_worker_services",
     "CampaignConfig",
     "CampaignCell",
     "CellResult",
@@ -91,6 +101,30 @@ RESULTS_DOC_VERSION = 1
 #: Fig. 3 is only plotted for the two services with per-file connections.
 SYN_SERIES_SERVICES = ("clouddrive", "googledrive")
 
+
+def syn_series_services(services: Sequence[str]) -> List[str]:
+    """The subset of ``services`` Fig. 3 (the SYN series) applies to.
+
+    The paper's two culprits keep their fixed slots and ordering
+    (plan-order compatibility with every earlier release); other services
+    join — in the caller's order — when their declarative connection
+    policy shows the same per-file pattern, so a spec-defined service with
+    per-file connections gets its SYN series both in the campaign and in
+    the standalone ``connections`` subcommand.  Falls back to all of
+    ``services`` when none qualifies (the pre-existing behaviour for e.g.
+    ``--services dropbox connections``).
+    """
+    wanted = [name for name in SYN_SERIES_SERVICES if name in services]
+    for name in services:
+        if name in SYN_SERIES_SERVICES:
+            continue
+        try:
+            if get_profile(name).connections.new_storage_connection_per_file:
+                wanted.append(name)
+        except UnknownServiceError:
+            continue
+    return wanted or list(services)
+
 #: Unit label of stages that schedule one cell per whole service.
 WHOLE_SERVICE_UNIT = "-"
 
@@ -102,12 +136,22 @@ def default_jobs() -> int:
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """The fidelity/runtime knobs shared by every cell of one campaign."""
+    """The fidelity/runtime knobs shared by every cell of one campaign.
+
+    ``scenario`` is the network condition the whole campaign runs under
+    (:class:`~repro.netsim.scenario.ScenarioSpec`): it travels inside every
+    cell, is part of every cache key, and defaults to the identity
+    :data:`~repro.netsim.scenario.BASELINE` — under which all outputs stay
+    byte-identical to the pre-scenario era.  (Runtime-registered *services*,
+    by contrast, are addressed by name; pools replicate them into workers
+    via :func:`init_worker_services`.)
+    """
 
     repetitions: int = 3
     idle_duration: float = minutes(16)
     resolver_count: int = 500
     planetlab_count: int = 300
+    scenario: ScenarioSpec = field(default_factory=lambda: BASELINE)
 
 
 @dataclass(frozen=True)
@@ -176,15 +220,20 @@ class _StageSpec:
 
 
 def _run_capabilities(cell: CampaignCell) -> Any:
-    return CapabilityProber(seed=cell.seed).probe_service(cell.service)
+    return CapabilityProber(seed=cell.seed, scenario=cell.config.scenario).probe_service(cell.service)
 
 
 def _run_idle(cell: CampaignCell) -> Any:
-    experiment = IdleExperiment([cell.service], duration=cell.config.idle_duration, seed=cell.seed)
+    experiment = IdleExperiment(
+        [cell.service], duration=cell.config.idle_duration, seed=cell.seed, scenario=cell.config.scenario
+    )
     return experiment.run_service(cell.service)
 
 
 def _run_datacenters(cell: CampaignCell) -> Any:
+    # Discovery measures the simulated world's geography (DNS, whois, RTT
+    # probes from global vantage points), not the client's access path —
+    # the scenario deliberately does not warp it.
     experiment = DataCenterExperiment(
         [cell.service],
         resolver_count=cell.config.resolver_count,
@@ -195,25 +244,31 @@ def _run_datacenters(cell: CampaignCell) -> Any:
 
 
 def _run_syn_series(cell: CampaignCell) -> Any:
-    return SynSeriesExperiment([cell.service], seed=cell.seed).run_service(cell.service)
+    experiment = SynSeriesExperiment([cell.service], seed=cell.seed, scenario=cell.config.scenario)
+    return experiment.run_service(cell.service)
 
 
 def _run_delta(cell: CampaignCell) -> Any:
-    experiment = DeltaEncodingExperiment([cell.service], seed=cell.seed)
+    experiment = DeltaEncodingExperiment([cell.service], seed=cell.seed, scenario=cell.config.scenario)
     if cell.unit == WHOLE_SERVICE_UNIT:
         return experiment.run_service(cell.service)
     return experiment.run_case(cell.service, cell.unit)
 
 
 def _run_compression(cell: CampaignCell) -> Any:
-    experiment = CompressionExperiment([cell.service], seed=cell.seed)
+    experiment = CompressionExperiment([cell.service], seed=cell.seed, scenario=cell.config.scenario)
     if cell.unit == WHOLE_SERVICE_UNIT:
         return experiment.run_service(cell.service)
     return experiment.run_kind(cell.service, FileKind(cell.unit))
 
 
 def _run_performance(cell: CampaignCell) -> Any:
-    experiment = PerformanceExperiment([cell.service], repetitions=cell.config.repetitions, seed=cell.seed)
+    experiment = PerformanceExperiment(
+        [cell.service],
+        repetitions=cell.config.repetitions,
+        seed=cell.seed,
+        scenario=cell.config.scenario,
+    )
     if cell.unit == WHOLE_SERVICE_UNIT:
         return experiment.run_service(cell.service)
     return experiment.run_pair(cell.service, workload_by_name(cell.unit))
@@ -302,6 +357,24 @@ def run_cell(cell: CampaignCell) -> CellResult:
     started = time.perf_counter()
     payload = spec.run(cell)
     return CellResult(cell=cell, payload=payload, wall_seconds=time.perf_counter() - started)
+
+
+def worker_service_payload(cells: Sequence[CampaignCell]) -> List[dict]:
+    """The registry state a worker pool needs to run ``cells``.
+
+    Pass the result as ``initargs`` with :func:`init_worker_services` as the
+    pool ``initializer``: services registered at runtime (``--services-file``,
+    ablation factories) then exist in every worker even under the
+    ``spawn``/``forkserver`` start methods, where workers do not inherit
+    the parent registry.  Under ``fork`` the install is a content-matched
+    no-op.
+    """
+    return registry_sync_payload(cell.service for cell in cells)
+
+
+def init_worker_services(payload: Sequence[dict]) -> None:
+    """Process-pool initializer: install the parent's service registrations."""
+    install_registered_specs(payload)
 
 
 @dataclass
@@ -445,7 +518,7 @@ class CampaignRunner:
 
     def _stage_services(self, stage: str) -> List[str]:
         if stage == "syn_series":
-            return [name for name in SYN_SERIES_SERVICES if name in self.services] or list(self.services)
+            return syn_series_services(self.services)
         return list(self.services)
 
     def run(self, cells: Optional[Sequence[CampaignCell]] = None) -> CampaignResult:
@@ -518,7 +591,11 @@ class CampaignRunner:
             for index in pending:
                 results[index] = self._completed(run_cell(plan[index]))
         else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=init_worker_services,
+                initargs=(worker_service_payload([plan[index] for index in pending]),),
+            ) as pool:
                 futures = {pool.submit(run_cell, plan[index]): index for index in pending}
                 # Persist in completion order (resume granularity); results
                 # land by plan index, so merging stays in plan order.

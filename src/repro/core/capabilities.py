@@ -19,6 +19,7 @@ from repro.filegen.binary import generate_binary
 from repro.filegen.jpeg import generate_fake_jpeg
 from repro.filegen.model import FileKind, GeneratedFile
 from repro.filegen.text import generate_text
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED, derive_seed
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import Observation, TestbedController
@@ -194,10 +195,22 @@ class CapabilityMatrix:
 # The prober
 # --------------------------------------------------------------------------- #
 class CapabilityProber:
-    """Runs the §4 capability checks against any registered service."""
+    """Runs the §4 capability checks against any registered service.
 
-    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+    ``scenario`` overlays a network condition on every probe's testbed;
+    probe verdicts are threshold-based on uploaded volumes and burst
+    counts, so they stay stable under realistic conditions — but an
+    extreme scenario *can* flip one, which is exactly the kind of
+    methodology-validity question scenario sweeps exist to ask.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED, scenario: Optional["ScenarioSpec"] = None) -> None:
         self._seed = seed
+        self._scenario = scenario
+
+    def _controller(self, service: str) -> TestbedController:
+        """A fresh testbed for one probe, under the prober's scenario."""
+        return TestbedController(service, scenario=self._scenario, seed=self._seed)
 
     # -- chunking -------------------------------------------------------- #
     def probe_chunking(
@@ -215,7 +228,7 @@ class CapabilityProber:
         chunks; anything else is variable chunking.
         """
         result = ChunkingResult(service=service)
-        controller = TestbedController(service)
+        controller = self._controller(service)
         controller.start_session()
         burst_size_lists: List[List[int]] = []
         for index, size in enumerate(list(sizes) + [sizes[0]] * (same_size_repeats - 1)):
@@ -261,7 +274,7 @@ class CapabilityProber:
         """Detect whether many small files are bundled into few storage requests."""
         result = BundlingResult(service=service)
         for count in file_counts:
-            controller = TestbedController(service)
+            controller = self._controller(service)
             controller.start_session()
             files = generate_batch(
                 FileKind.BINARY,
@@ -285,7 +298,7 @@ class CapabilityProber:
     def probe_deduplication(self, service: str, file_size: int = 1 * MB) -> DeduplicationResult:
         """Run the four-step replica test of §4.3 and measure each step's upload."""
         result = DeduplicationResult(service=service, file_size=file_size)
-        controller = TestbedController(service)
+        controller = self._controller(service)
         controller.start_session()
         original = generate_binary(file_size, name="folder1/original.bin", seed=derive_seed(self._seed, service, "dedup"))
 
@@ -325,7 +338,7 @@ class CapabilityProber:
     ) -> DeltaEncodingResult:
         """Append to / modify a synced file and measure how much is re-uploaded (§4.4)."""
         result = DeltaEncodingResult(service=service, file_size=file_size, change_bytes=change_bytes)
-        controller = TestbedController(service)
+        controller = self._controller(service)
         controller.start_session()
         seed = derive_seed(self._seed, service, "delta")
         base = generate_binary(file_size, name="delta/document.bin", seed=seed)
@@ -353,7 +366,7 @@ class CapabilityProber:
     def probe_compression(self, service: str, file_size: int = 1 * MB) -> CompressionResult:
         """Upload text, random and fake-JPEG files of the same size (§4.5)."""
         result = CompressionResult(service=service, file_size=file_size)
-        controller = TestbedController(service)
+        controller = self._controller(service)
         controller.start_session()
         seed = derive_seed(self._seed, service, "compression")
 

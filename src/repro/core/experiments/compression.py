@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.workloads import COMPRESSION_SIZES
 from repro.filegen.batch import generate_file
 from repro.filegen.model import FileKind
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED, derive_seed
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import TestbedController
@@ -90,11 +91,13 @@ class CompressionExperiment:
         sizes: Optional[Sequence[int]] = None,
         kinds: Optional[Sequence[FileKind]] = None,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.sizes = list(sizes) if sizes is not None else list(COMPRESSION_SIZES)
         self.kinds = list(kinds) if kinds is not None else list(CONTENT_CLASSES)
         self.seed = seed
+        self.scenario = scenario
 
     def run_kind(self, service: str, kind: FileKind) -> List[CompressionPoint]:
         """Upload every size of one content class for one service.
@@ -106,7 +109,7 @@ class CompressionExperiment:
         which other classes run and of scheduling.
         """
         points: List[CompressionPoint] = []
-        controller = TestbedController(service)
+        controller = TestbedController(service, scenario=self.scenario, seed=self.seed)
         controller.start_session()
         for size in self.sizes:
             file = generate_file(

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.workloads import DELTA_APPEND_SIZES, DELTA_CHANGE_BYTES, DELTA_RANDOM_SIZES
 from repro.errors import ConfigurationError
 from repro.filegen.binary import generate_binary
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED, derive_seed, make_rng
 from repro.testbed.controller import TestbedController
 from repro.services.registry import SERVICE_NAMES
@@ -85,17 +86,19 @@ class DeltaEncodingExperiment:
         random_sizes: Optional[Sequence[int]] = None,
         change_bytes: int = DELTA_CHANGE_BYTES,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.append_sizes = list(append_sizes) if append_sizes is not None else list(DELTA_APPEND_SIZES)
         self.random_sizes = list(random_sizes) if random_sizes is not None else list(DELTA_RANDOM_SIZES)
         self.change_bytes = change_bytes
         self.seed = seed
+        self.scenario = scenario
 
     def _measure(self, service: str, size: int, case: str) -> DeltaPoint:
         """Upload a base file, apply one modification, measure the re-upload."""
         seed = derive_seed(self.seed, service, case, size)
-        controller = TestbedController(service)
+        controller = TestbedController(service, scenario=self.scenario, seed=self.seed)
         controller.start_session()
         base = generate_binary(size, name=f"delta_{case}_{size}.bin", seed=seed)
         controller.sync_upload([base], label=f"delta-{case}-base")

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capture import analysis
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import TestbedController
@@ -92,21 +93,24 @@ class IdleExperiment:
         duration: float = minutes(16),
         sample_interval: float = 10.0,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
-        # ``seed`` is part of the experiment's identity even though the
-        # login/idle scenario is currently seed-invariant: the standalone
-        # subcommand, the campaign cell and the result-store cache key must
-        # all agree on one (stage, service, seed, config) identity for
-        # ``cloudbench --seed N idle`` to reproduce its campaign cell
-        # bit-for-bit (and for cached cells to be reused correctly).
+        # ``seed`` is part of the experiment's identity; under the baseline
+        # scenario the login/idle traffic is seed-invariant, but the
+        # standalone subcommand, the campaign cell and the result-store
+        # cache key must all agree on one (stage, service, seed, config)
+        # identity for ``cloudbench --seed N idle`` to reproduce its
+        # campaign cell bit-for-bit.  A jittery ``scenario`` makes the
+        # traffic genuinely seed-dependent.
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.duration = duration
         self.sample_interval = sample_interval
         self.seed = seed
+        self.scenario = scenario
 
     def run_service(self, service: str) -> IdleServiceResult:
         """Observe one service while idle."""
-        controller = TestbedController(service)
+        controller = TestbedController(service, scenario=self.scenario, seed=self.seed)
         login_observation = controller.start_session(polling=True)
         login_bytes = login_observation.trace.total_bytes()
         idle_observation = controller.idle(self.duration)

@@ -15,6 +15,7 @@ from repro.core.metrics import PerformanceMetrics, aggregate_metrics, compute_pe
 from repro.core.workloads import PAPER_WORKLOADS, WorkloadSpec
 from repro.errors import ConfigurationError
 from repro.filegen.model import FileKind
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED, derive_seed
 from repro.services.registry import SERVICE_NAMES
 from repro.testbed.controller import TestbedController
@@ -93,6 +94,7 @@ class PerformanceExperiment:
         file_kind: FileKind = FileKind.BINARY,
         pause_between_runs: float = 300.0,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.workloads = list(workloads) if workloads is not None else list(PAPER_WORKLOADS)
@@ -100,10 +102,11 @@ class PerformanceExperiment:
         self.file_kind = file_kind
         self.pause_between_runs = pause_between_runs
         self.seed = seed
+        self.scenario = scenario
 
     def run_single(self, service: str, workload: WorkloadSpec, repetition: int = 0) -> PerformanceMetrics:
         """One repetition of one (service, workload) pair on a fresh testbed."""
-        controller = TestbedController(service)
+        controller = TestbedController(service, scenario=self.scenario, seed=self.seed)
         controller.start_session()
         spec = WorkloadSpec(
             name=workload.name,

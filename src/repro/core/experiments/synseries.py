@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capture import analysis
 from repro.core.workloads import WorkloadSpec, workload_by_name
+from repro.netsim.scenario import ScenarioSpec
 from repro.randomness import DEFAULT_SEED
 from repro.testbed.controller import TestbedController
 
@@ -64,14 +65,16 @@ class SynSeriesExperiment:
         services: Optional[Sequence[str]] = None,
         workload: Optional[WorkloadSpec] = None,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(DEFAULT_SERVICES)
         self.workload = workload if workload is not None else workload_by_name("100x10kB")
         self.seed = seed
+        self.scenario = scenario
 
     def run_service(self, service: str) -> SynSeriesServiceResult:
         """Run the workload against one service and extract the SYN series."""
-        controller = TestbedController(service)
+        controller = TestbedController(service, scenario=self.scenario, seed=self.seed)
         controller.start_session()
         files = self.workload.generate(self.seed)
         observation = controller.sync_upload(files, label=f"synseries-{self.workload.name}")

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.campaign import STAGES, CampaignConfig, CampaignResult, CampaignRunner
+from repro.core.campaign import STAGES, CampaignConfig, CampaignResult, CampaignRunner, syn_series_services
 from repro.core.store import ResultStore
 from repro.core.capabilities import CapabilityMatrix, CapabilityProber
 from repro.core.experiments.compression import CompressionExperiment, CompressionExperimentResult
@@ -28,6 +28,7 @@ from repro.core.experiments.performance import PerformanceExperiment, Performanc
 from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
 from repro.core.report import render_grouped_bars, render_table
 from repro.core.workloads import PAPER_WORKLOADS
+from repro.netsim.scenario import BASELINE, ScenarioSpec
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
 from repro.units import minutes
@@ -98,21 +99,25 @@ class BenchmarkSuite:
         idle_duration: float = minutes(16),
         resolver_count: int = 500,
         seed: int = DEFAULT_SEED,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         self.repetitions = repetitions
         self.idle_duration = idle_duration
         self.resolver_count = resolver_count
         self.seed = seed
+        self.scenario = scenario if scenario is not None else BASELINE
 
     # Individual stages ---------------------------------------------------- #
     def run_capabilities(self) -> CapabilityMatrix:
         """Table 1."""
-        return CapabilityProber(seed=self.seed).build_matrix(self.services)
+        return CapabilityProber(seed=self.seed, scenario=self.scenario).build_matrix(self.services)
 
     def run_idle(self) -> IdleResult:
         """Fig. 1."""
-        return IdleExperiment(self.services, duration=self.idle_duration, seed=self.seed).run()
+        return IdleExperiment(
+            self.services, duration=self.idle_duration, seed=self.seed, scenario=self.scenario
+        ).run()
 
     def run_datacenters(self) -> DataCenterResult:
         """Fig. 2 / §3.2."""
@@ -120,20 +125,22 @@ class BenchmarkSuite:
 
     def run_syn_series(self) -> SynSeriesResult:
         """Fig. 3."""
-        services = [name for name in ("clouddrive", "googledrive") if name in self.services] or self.services
-        return SynSeriesExperiment(services, seed=self.seed).run()
+        services = syn_series_services(self.services)
+        return SynSeriesExperiment(services, seed=self.seed, scenario=self.scenario).run()
 
     def run_delta(self) -> DeltaResult:
         """Fig. 4."""
-        return DeltaEncodingExperiment(self.services, seed=self.seed).run()
+        return DeltaEncodingExperiment(self.services, seed=self.seed, scenario=self.scenario).run()
 
     def run_compression(self) -> CompressionExperimentResult:
         """Fig. 5."""
-        return CompressionExperiment(self.services, seed=self.seed).run()
+        return CompressionExperiment(self.services, seed=self.seed, scenario=self.scenario).run()
 
     def run_performance(self) -> PerformanceResult:
         """Fig. 6."""
-        return PerformanceExperiment(self.services, repetitions=self.repetitions, seed=self.seed).run()
+        return PerformanceExperiment(
+            self.services, repetitions=self.repetitions, seed=self.seed, scenario=self.scenario
+        ).run()
 
     # Whole campaign -------------------------------------------------------- #
     def run_campaign(
@@ -164,6 +171,7 @@ class BenchmarkSuite:
                 repetitions=self.repetitions,
                 idle_duration=self.idle_duration,
                 resolver_count=self.resolver_count,
+                scenario=self.scenario,
             ),
             store=ResultStore(cache_dir) if cache_dir is not None else None,
         )

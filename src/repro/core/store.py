@@ -54,7 +54,9 @@ logger = logging.getLogger(__name__)
 
 #: Version of the on-disk entry layout *and* of the key material.  Bump it
 #: whenever either changes: every existing entry then misses and is rebuilt.
-STORE_SCHEMA_VERSION = 1
+#: (2: the key material gained the service-spec fingerprint and the
+#: scenario-bearing campaign config.)
+STORE_SCHEMA_VERSION = 2
 
 #: Where ``cloudbench all --resume`` keeps its store when no --cache-dir is given.
 DEFAULT_CACHE_DIR = ".cloudbench-cache"
@@ -67,15 +69,21 @@ def cache_key(cell: "CampaignCell") -> str:
     """Content hash of one cell's full identity.
 
     Covers everything the payload is a function of: the schema version, the
-    (stage, service, unit) coordinates, the campaign seed and every knob of
-    the :class:`~repro.core.campaign.CampaignConfig` (by field name, so
-    reordering fields does not silently alias keys).
+    (stage, service, unit) coordinates, the *content* of the service's
+    declarative spec (its fingerprint — so editing a spec file invalidates
+    exactly that service's cells), the campaign seed and every knob of the
+    :class:`~repro.core.campaign.CampaignConfig` (by field name, so
+    reordering fields does not silently alias keys) — including the network
+    :class:`~repro.netsim.scenario.ScenarioSpec` the campaign runs under.
     """
+    from repro.services.registry import spec_fingerprint  # deferred: registry imports are heavy
+
     material = repr(
         (
             STORE_SCHEMA_VERSION,
             cell.stage,
             cell.service,
+            spec_fingerprint(cell.service),
             cell.unit,
             cell.seed,
             sorted(dataclasses.asdict(cell.config).items()),

@@ -43,7 +43,9 @@ from repro.core.campaign import (
     CampaignResult,
     CampaignRunner,
     CellResult,
+    init_worker_services,
     run_cell,
+    worker_service_payload,
 )
 from repro.core.store import ResultStore
 from repro.core.sweep import SweepResult, sweep_from_results
@@ -165,7 +167,11 @@ class ShardWorker:
         pending = {cell.key: cell for cell in plan}
         in_flight: Dict[object, object] = {}  # future -> cell
         try:
-            with ProcessPoolExecutor(max_workers=self.runner.jobs) as pool:
+            with ProcessPoolExecutor(
+                max_workers=self.runner.jobs,
+                initializer=init_worker_services,
+                initargs=(worker_service_payload(plan),),
+            ) as pool:
                 while pending or in_flight:
                     progressed = self._fill(pool, pending, in_flight, report)
                     if in_flight:

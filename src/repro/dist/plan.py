@@ -4,7 +4,12 @@ A shard plan answers one question: *which cells belong to runner i of N?*
 It must be computable by every runner independently — there is no
 coordinator process — so it is a pure function of the campaign plan
 (:meth:`repro.core.campaign.CampaignRunner.cells`, itself deterministic)
-and the shard count.  Cells are dealt round-robin in plan order: cell ``j``
+and the shard count.  That purity extends to declarative services and
+scenarios: the plan addresses services by name, so every cooperating
+runner (and the merger) must be launched with the same ``--services-file``/
+``--scenario`` flags — the service-spec fingerprint and the scenario are
+part of each cell's store key, which turns a mismatched launch into loud
+missing-cell errors rather than silently mixed results.  Cells are dealt round-robin in plan order: cell ``j``
 goes to shard ``j mod N``.  Because each seed's grid is stage-major,
 round-robin dealing interleaves every stage across all shards, so no shard
 ends up holding only the expensive performance cells; for a multi-seed

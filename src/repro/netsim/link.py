@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import mbps
@@ -58,4 +59,24 @@ class NetworkPath:
             uplink_bps=self.uplink_bps * rate_factor,
             downlink_bps=self.downlink_bps * rate_factor,
             server_processing=self.server_processing,
+        )
+
+    def adjusted(
+        self,
+        *,
+        rtt: Optional[float] = None,
+        uplink_bps: Optional[float] = None,
+        downlink_bps: Optional[float] = None,
+        server_processing: Optional[float] = None,
+    ) -> "NetworkPath":
+        """Return a copy with the given characteristics replaced.
+
+        This is the hook :class:`~repro.netsim.scenario.ScenarioSpec` uses
+        to overlay access-network conditions on a base path.
+        """
+        return NetworkPath(
+            rtt=self.rtt if rtt is None else rtt,
+            uplink_bps=self.uplink_bps if uplink_bps is None else uplink_bps,
+            downlink_bps=self.downlink_bps if downlink_bps is None else downlink_bps,
+            server_processing=self.server_processing if server_processing is None else server_processing,
         )

@@ -1,0 +1,294 @@
+"""Declarative network scenarios: RTT/bandwidth/loss/jitter overrides.
+
+The paper benchmarks every service from one campus network; its methodology
+(§2.4) nevertheless applies under *any* access network.  A
+:class:`ScenarioSpec` makes the network a campaign dimension: it is a
+serializable description of the access-path conditions — RTT scaling and
+offsets, bandwidth scaling and caps, a random-loss rate, and seeded jitter —
+that the simulator applies to every :class:`~repro.netsim.link.NetworkPath`
+a client opens.
+
+Determinism rules, which the campaign cache and the distributed merger rely
+on:
+
+* the warp is a pure function of (scenario, campaign seed, server hostname)
+  — never of wall clocks, connection ordering or scheduling — so a cell's
+  traffic is bit-identical across ``--jobs N``, sharded runners and cache
+  replays;
+* the *jitter* terms are derived from the campaign seed, so a seed sweep
+  under a jittery scenario finally spreads every traffic-driven stage
+  (performance, idle, delta, ...) across seeds instead of only the
+  compression stage's payloads;
+* the :data:`BASELINE` scenario is the identity: it leaves every path
+  untouched (not merely multiplied by 1.0), so default campaigns remain
+  byte-identical to the pre-scenario era.
+
+Loss is not simulated packet-by-packet; it is folded into the path the way
+TCP experiences it on long transfers: the achievable rate shrinks roughly
+with ``1/sqrt(loss)`` (Mathis et al.) and retransmissions inflate the
+effective round-trip time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.netsim.link import NetworkPath
+from repro.randomness import derive_seed
+from repro.specio import load_document
+from repro.units import parse_rate
+
+__all__ = [
+    "ScenarioSpec",
+    "BASELINE",
+    "BUILTIN_SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "load_scenario_specs",
+    "register_scenarios_from_file",
+]
+
+#: Mathis-style sensitivity of TCP throughput to random loss.
+_LOSS_RATE_FACTOR = 1.22
+
+#: How strongly retransmission stalls inflate the effective RTT per unit loss.
+_LOSS_RTT_INFLATION = 6.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One network condition, applied to every client↔server path.
+
+    All fields have identity defaults, so a spec file only states what it
+    changes.  ``jitter`` and ``rate_jitter`` are *maximum* symmetric
+    fractional deviations; the actual deviation for one (seed, hostname)
+    pair is drawn deterministically from the campaign seed.
+    """
+
+    name: str
+    #: Free-text description for listings and reports.
+    description: str = ""
+    #: Multiply every base RTT by this factor.
+    rtt_factor: float = 1.0
+    #: Then add this many seconds (e.g. an access-technology latency floor).
+    extra_rtt: float = 0.0
+    #: Scale the up/down bottleneck rates.
+    uplink_factor: float = 1.0
+    downlink_factor: float = 1.0
+    #: Cap the up/down bottleneck rates (bits per second; ``None`` = uncapped).
+    uplink_cap_bps: Optional[float] = None
+    downlink_cap_bps: Optional[float] = None
+    #: Random-loss probability folded into rate and RTT (see module docs).
+    loss: float = 0.0
+    #: Max symmetric fractional RTT jitter, seeded per (seed, hostname).
+    jitter: float = 0.0
+    #: Max symmetric fractional bandwidth jitter, seeded per (seed, hostname).
+    rate_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if self.rtt_factor < 0 or self.extra_rtt < 0:
+            raise ConfigurationError(f"scenario {self.name}: RTT terms must be non-negative")
+        if self.uplink_factor <= 0 or self.downlink_factor <= 0:
+            raise ConfigurationError(f"scenario {self.name}: bandwidth factors must be positive")
+        for cap in (self.uplink_cap_bps, self.downlink_cap_bps):
+            if cap is not None and cap <= 0:
+                raise ConfigurationError(f"scenario {self.name}: bandwidth caps must be positive")
+        if not 0.0 <= self.loss < 1.0:
+            raise ConfigurationError(f"scenario {self.name}: loss must be in [0, 1)")
+        if not 0.0 <= self.jitter < 1.0 or not 0.0 <= self.rate_jitter < 1.0:
+            raise ConfigurationError(f"scenario {self.name}: jitter fractions must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    def is_identity(self) -> bool:
+        """Whether this scenario leaves every path bit-identical."""
+        return (
+            self.rtt_factor == 1.0
+            and self.extra_rtt == 0.0
+            and self.uplink_factor == 1.0
+            and self.downlink_factor == 1.0
+            and self.uplink_cap_bps is None
+            and self.downlink_cap_bps is None
+            and self.loss == 0.0
+            and self.jitter == 0.0
+            and self.rate_jitter == 0.0
+        )
+
+    def _deviation(self, seed: int, label: str, hostname: str, amplitude: float) -> float:
+        """Deterministic symmetric deviation in ``[-amplitude, +amplitude]``."""
+        if amplitude == 0.0:
+            return 0.0
+        unit = (derive_seed(seed, "scenario", self.name, label, hostname) % 100_000) / 100_000.0
+        return (2.0 * unit - 1.0) * amplitude
+
+    def apply(self, path: NetworkPath, *, hostname: str, seed: int) -> NetworkPath:
+        """The path a client actually experiences under this scenario.
+
+        Pure in (self, path, hostname, seed); the identity scenario returns
+        ``path`` unchanged (same object, same floats).
+        """
+        if self.is_identity():
+            return path
+        rtt = path.rtt * self.rtt_factor + self.extra_rtt
+        rtt *= 1.0 + self._deviation(seed, "rtt", hostname, self.jitter)
+        rtt *= 1.0 + _LOSS_RTT_INFLATION * self.loss
+        rate_wobble = 1.0 + self._deviation(seed, "rate", hostname, self.rate_jitter)
+        loss_divisor = 1.0 + _LOSS_RATE_FACTOR * math.sqrt(self.loss) / max(1e-9, 1.0 - self.loss) if self.loss else 1.0
+        uplink = path.uplink_bps * self.uplink_factor * rate_wobble / loss_divisor
+        downlink = path.downlink_bps * self.downlink_factor * rate_wobble / loss_divisor
+        if self.uplink_cap_bps is not None:
+            uplink = min(uplink, self.uplink_cap_bps)
+        if self.downlink_cap_bps is not None:
+            downlink = min(downlink, self.downlink_cap_bps)
+        return path.adjusted(rtt=max(0.0, rtt), uplink_bps=max(uplink, 1.0), downlink_bps=max(downlink, 1.0))
+
+    def bind(self, seed: int) -> Callable[[NetworkPath, str], NetworkPath]:
+        """A ``(path, hostname) -> path`` warp bound to one campaign seed.
+
+        This is the hook installed on
+        :attr:`repro.netsim.simulator.NetworkSimulator.path_warp`.
+        """
+        return lambda path, hostname: self.apply(path, hostname=hostname, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Canonical dict form: identity-valued fields are omitted."""
+        document: Dict[str, object] = {"name": self.name}
+        defaults = ScenarioSpec(name=self.name)
+        for field in dataclasses.fields(self):
+            if field.name == "name":
+                continue
+            value = getattr(self, field.name)
+            if value != getattr(defaults, field.name):
+                document[field.name] = value
+        return document
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ScenarioSpec":
+        """Build a spec from a plain dict (a parsed TOML/JSON table)."""
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"a scenario spec must be a table/object, got {type(raw).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        values: Dict[str, object] = {}
+        for key, value in raw.items():
+            key = str(key).replace("-", "_")
+            if key not in known:
+                raise ConfigurationError(
+                    f"unknown scenario field {key!r}; valid fields: {', '.join(sorted(known))}"
+                )
+            if key in ("uplink_cap_bps", "downlink_cap_bps") and value is not None:
+                value = parse_rate(value)
+            elif key not in ("name", "description"):
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ConfigurationError(f"scenario field {key!r} must be a number, got {value!r}")
+                value = float(value)
+            values[key] = value
+        if "name" not in values:
+            raise ConfigurationError("a scenario spec needs a 'name'")
+        return cls(**values)  # type: ignore[arg-type]
+
+
+#: The identity scenario: the paper's campus access network, untouched.
+BASELINE = ScenarioSpec(name="baseline", description="paper's campus network, no overrides")
+
+#: Ready-made access-network conditions selectable with ``--scenario NAME``.
+BUILTIN_SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        BASELINE,
+        ScenarioSpec(
+            name="lossy-dsl",
+            description="8/1 Mb/s DSL with bufferbloat and 1% random loss",
+            extra_rtt=0.030,
+            uplink_cap_bps=1_000_000.0,
+            downlink_cap_bps=8_000_000.0,
+            loss=0.01,
+            jitter=0.10,
+            rate_jitter=0.10,
+        ),
+        ScenarioSpec(
+            name="mobile-lte",
+            description="LTE access: 20/10 Mb/s, 50 ms air-interface latency, jittery",
+            extra_rtt=0.050,
+            uplink_cap_bps=10_000_000.0,
+            downlink_cap_bps=20_000_000.0,
+            jitter=0.20,
+            rate_jitter=0.15,
+        ),
+        ScenarioSpec(
+            name="satellite",
+            description="GEO satellite: +600 ms RTT, 16/2 Mb/s, occasional loss",
+            extra_rtt=0.600,
+            uplink_cap_bps=2_000_000.0,
+            downlink_cap_bps=16_000_000.0,
+            loss=0.003,
+            jitter=0.05,
+        ),
+        ScenarioSpec(
+            name="fast-fiber",
+            description="short-RTT FTTH: halve RTTs, generous symmetric capacity",
+            rtt_factor=0.5,
+            uplink_factor=2.0,
+            downlink_factor=2.0,
+        ),
+    )
+}
+
+_REGISTRY: Dict[str, ScenarioSpec] = dict(BUILTIN_SCENARIOS)
+
+
+def registered_scenarios() -> List[str]:
+    """Names of every known scenario (built-ins plus file-registered ones)."""
+    return sorted(_REGISTRY)
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add (or replace, idempotently) a scenario under its own name."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name, raising with the valid names on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: {', '.join(registered_scenarios())}"
+        ) from None
+
+
+def load_scenario_specs(path: str) -> List[ScenarioSpec]:
+    """Parse every scenario defined in a TOML/JSON spec file.
+
+    Accepted shapes: a top-level ``[[scenario]]`` array of tables (TOML) /
+    ``{"scenario": [...]}`` list (JSON), or a single top-level scenario
+    table carrying a ``name``.
+    """
+    document = load_document(path)
+    entries = document.get("scenario", document.get("scenarios"))
+    if entries is None:
+        entries = [document] if "name" in document else []
+    if isinstance(entries, dict):
+        entries = [entries]
+    if not entries:
+        raise ConfigurationError(f"no scenarios found in {path!r} (expected [[scenario]] tables)")
+    return [ScenarioSpec.from_dict(entry) for entry in entries]
+
+
+def register_scenarios_from_file(path: str) -> List[ScenarioSpec]:
+    """Load a scenario spec file and register everything it defines."""
+    specs = load_scenario_specs(path)
+    for spec in specs:
+        register_scenario(spec)
+    return specs

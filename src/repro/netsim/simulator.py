@@ -33,6 +33,11 @@ class NetworkSimulator:
         self._next_connection_id = 1
         self._next_ephemeral_port = 49152
         self._dispatching_events = False
+        #: Optional ``(path, hostname) -> path`` transform applied to every
+        #: connection's network path — the scenario layer's injection point
+        #: (see :meth:`repro.netsim.scenario.ScenarioSpec.bind`).  ``None``
+        #: leaves paths untouched.
+        self.path_warp: Optional[Callable[[NetworkPath, str], NetworkPath]] = None
 
     # ------------------------------------------------------------------ #
     # Time
@@ -101,7 +106,13 @@ class NetworkSimulator:
         When ``handshake`` is true (default) the TCP — and, if ``tls`` is
         given, TLS — handshakes are performed immediately, advancing the
         clock and emitting the corresponding packets.
+
+        With a :attr:`path_warp` installed the connection rides the warped
+        path: this is where a network scenario overlays its RTT/bandwidth/
+        loss/jitter conditions on every path a client opens.
         """
+        if self.path_warp is not None:
+            path = self.path_warp(path, remote.hostname)
         connection = TCPConnection(
             simulator=self,
             local=self.client,

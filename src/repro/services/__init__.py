@@ -27,7 +27,21 @@ from repro.services.skydrive import SkyDriveClient, skydrive_profile
 from repro.services.wuala import WualaClient, wuala_profile
 from repro.services.googledrive import GoogleDriveClient, googledrive_profile
 from repro.services.clouddrive import CloudDriveClient, clouddrive_profile
-from repro.services.registry import SERVICE_NAMES, create_client, get_profile, register_service
+from repro.services.registry import (
+    SERVICE_NAMES,
+    create_client,
+    get_profile,
+    get_spec,
+    register_service,
+    register_service_spec,
+    register_services_from_file,
+    registry_restore,
+    registry_snapshot,
+    spec_fingerprint,
+    temporary_services,
+    unregister_service,
+)
+from repro.services.spec import ServiceSpec, builtin_spec, load_service_specs
 
 __all__ = [
     "ServiceProfile",
@@ -57,4 +71,15 @@ __all__ = [
     "create_client",
     "get_profile",
     "register_service",
+    "register_service_spec",
+    "register_services_from_file",
+    "unregister_service",
+    "registry_snapshot",
+    "registry_restore",
+    "temporary_services",
+    "spec_fingerprint",
+    "get_spec",
+    "ServiceSpec",
+    "builtin_spec",
+    "load_service_specs",
 ]

@@ -210,6 +210,10 @@ class CloudStorageClient:
         message = ListChangesMessage(sizes=self.profile.message_sizes)
         self._control().post(message.request_bytes, message.response_bytes, note="initial-list-changes")
         self._logged_in = True
+        # Services with a dedicated notification protocol establish the
+        # channel right after login (Dropbox's plain-HTTP long poll, §3.1).
+        if spec.notification_subscribe_bytes > 0:
+            self._notification().get(spec.notification_subscribe_bytes, note="notification-subscribe")
 
     def start_polling(self) -> None:
         """Begin the background polling/notification loop."""

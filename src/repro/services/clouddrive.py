@@ -15,106 +15,27 @@ What the paper reports about Cloud Drive (v2.0.2013.841):
   traffic for an idle client (§3.1, Fig. 1);
 * consequently a protocol overhead an order of magnitude above everyone
   else: more than 5 MB exchanged to commit 1 MB of content (§5.3).
+
+The profile is interpreted from the declarative spec file
+``specs/clouddrive.json`` by the generic client engine; the unusually
+verbose control exchanges driving the >5x overhead of Fig. 6c are the
+spec's ``message_sizes`` overrides.
 """
 
 from __future__ import annotations
 
-from repro.geo.datacenters import provider_datacenters
 from repro.netsim.simulator import NetworkSimulator
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient
-from repro.services.profile import (
-    ConnectionPolicy,
-    LoginSpec,
-    PollingSpec,
-    ServerSpec,
-    ServiceCapabilities,
-    ServiceProfile,
-    TimingSpec,
-)
-from repro.sync.compression import CompressionPolicy
-from repro.sync.protocol import MessageSizes
-from repro.units import mbps
+from repro.services.profile import ServiceProfile
+from repro.services.spec import builtin_spec
 
 __all__ = ["clouddrive_profile", "CloudDriveClient"]
 
 
 def clouddrive_profile() -> ServiceProfile:
     """Profile encoding the paper's findings about the Amazon Cloud Drive client."""
-    dublin, virginia, oregon = provider_datacenters("clouddrive")
-    control = ServerSpec(
-        hostname="drive.amazonaws.com",
-        datacenter=dublin,
-        rate_up_bps=mbps(12.0),
-        rate_down_bps=mbps(30.0),
-        server_processing=0.025,
-    )
-    control_us = ServerSpec(
-        hostname="drive-us.amazonaws.com",
-        datacenter=virginia,
-        rate_up_bps=mbps(8.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.030,
-    )
-    storage = ServerSpec(
-        hostname="content-eu.clouddrive.amazonaws.com",
-        datacenter=dublin,
-        rate_up_bps=mbps(10.0),
-        rate_down_bps=mbps(30.0),
-        server_processing=0.030,
-    )
-    storage_us = ServerSpec(
-        hostname="content-na.clouddrive.amazonaws.com",
-        datacenter=virginia,
-        rate_up_bps=mbps(8.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.030,
-    )
-    storage_oregon = ServerSpec(
-        hostname="content-or.clouddrive.amazonaws.com",
-        datacenter=oregon,
-        rate_up_bps=mbps(8.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.030,
-    )
-    return ServiceProfile(
-        name="clouddrive",
-        display_name="Cloud Drive",
-        capabilities=ServiceCapabilities(
-            chunking="none",
-            chunk_size=None,
-            bundling=False,
-            compression=CompressionPolicy.NEVER,
-            deduplication=False,
-            delta_encoding=False,
-        ),
-        control_servers=[control, control_us],
-        storage_servers=[storage, storage_us, storage_oregon],
-        polling=PollingSpec(
-            interval=15.0,
-            request_bytes=1800,
-            response_bytes=3800,
-            new_connection_per_poll=True,
-        ),
-        login=LoginSpec(server_count=4, total_bytes=16_000, hostname_pattern="auth{index}.amazon.com"),
-        timing=TimingSpec(
-            detection_delay=5.0,
-            bundle_wait=0.0,
-            per_file_preprocess=0.01,
-            per_mb_preprocess=0.03,
-            per_file_processing=0.22,
-        ),
-        connections=ConnectionPolicy(
-            new_storage_connection_per_file=True,
-            control_connections_per_file=3,
-            wait_app_ack_per_file=False,
-            persistent_control_connection=False,
-        ),
-        # Cloud Drive's control exchanges are unusually verbose: every file
-        # operation re-fetches state over its three throw-away connections,
-        # which is what drives the >5x overhead of Fig. 6c.
-        message_sizes=MessageSizes(list_changes_request=700, list_changes_response=3500),
-    )
+    return builtin_spec("clouddrive").build_profile()
 
 
 class CloudDriveClient(CloudStorageClient):

@@ -14,94 +14,27 @@ What the paper reports about Dropbox (v2.0.8):
   completion-time win for 100 × 10 kB (Fig. 6);
 * the highest protocol overhead among the well-behaved services (47 % for a
   100 kB file), attributed to the signalling cost of its capabilities (§5.3).
+
+All of that is now *data*: the profile is interpreted from the declarative
+spec file ``specs/dropbox.json`` by the generic client engine — including
+the plain-HTTP notification subscription, which used to be a ``login``
+override on this class (``login.notification_subscribe_bytes``).
 """
 
 from __future__ import annotations
 
-from repro.geo.datacenters import provider_datacenters
 from repro.netsim.simulator import NetworkSimulator
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient
-from repro.services.profile import (
-    ConnectionPolicy,
-    LoginSpec,
-    PollingSpec,
-    ServerSpec,
-    ServiceCapabilities,
-    ServiceProfile,
-    TimingSpec,
-)
-from repro.sync.compression import CompressionPolicy
-from repro.units import MB, mbps
+from repro.services.profile import ServiceProfile
+from repro.services.spec import builtin_spec
 
 __all__ = ["dropbox_profile", "DropboxClient"]
 
 
 def dropbox_profile() -> ServiceProfile:
     """Profile encoding the paper's findings about the Dropbox client."""
-    control_dc, storage_dc = provider_datacenters("dropbox")
-    control = ServerSpec(
-        hostname="client.dropbox.com",
-        datacenter=control_dc,
-        rate_up_bps=mbps(10.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.020,
-    )
-    notification = ServerSpec(
-        hostname="notify.dropbox.com",
-        datacenter=control_dc,
-        rate_up_bps=mbps(10.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.010,
-        port=80,
-        tls=False,
-    )
-    storage = ServerSpec(
-        hostname="dl-client.dropbox.com",
-        datacenter=storage_dc,
-        rate_up_bps=mbps(8.0),
-        rate_down_bps=mbps(30.0),
-        server_processing=0.030,
-    )
-    return ServiceProfile(
-        name="dropbox",
-        display_name="Dropbox",
-        capabilities=ServiceCapabilities(
-            chunking="fixed",
-            chunk_size=4 * MB,
-            bundling=True,
-            compression=CompressionPolicy.ALWAYS,
-            deduplication=True,
-            delta_encoding=True,
-        ),
-        control_servers=[control],
-        storage_servers=[storage],
-        notification_server=notification,
-        polling=PollingSpec(
-            interval=60.0,
-            request_bytes=200,
-            response_bytes=255,
-            new_connection_per_poll=False,
-            use_notification_channel=True,
-        ),
-        login=LoginSpec(server_count=3, total_bytes=16_000, hostname_pattern="d{index}.dropbox.com"),
-        timing=TimingSpec(
-            detection_delay=0.4,
-            bundle_wait=1.6,
-            per_file_preprocess=0.005,
-            per_mb_preprocess=0.06,
-            per_file_processing=0.0,
-            per_file_storage_commit=0.085,
-        ),
-        connections=ConnectionPolicy(
-            new_storage_connection_per_file=False,
-            control_connections_per_file=0,
-            wait_app_ack_per_file=False,
-        ),
-        per_sync_control_overhead_bytes=35_000,
-        max_bundle_bytes=4 * MB,
-        max_bundle_files=25,
-    )
+    return builtin_spec("dropbox").build_profile()
 
 
 class DropboxClient(CloudStorageClient):
@@ -109,15 +42,3 @@ class DropboxClient(CloudStorageClient):
 
     def __init__(self, simulator: NetworkSimulator, backend: StorageBackend | None = None) -> None:
         super().__init__(simulator, dropbox_profile(), backend)
-
-    def login(self) -> None:
-        """Authenticate, then open the plain-HTTP notification channel.
-
-        Dropbox is the only service whose notification protocol runs over
-        plain HTTP (§3.1); the channel is established right after login and
-        kept open for long-poll style notifications.
-        """
-        if self._logged_in:
-            return
-        super().login()
-        self._notification().get(180, note="notification-subscribe")

@@ -14,76 +14,27 @@ What the paper reports about Google Drive (v1.9.4536.8202):
   workloads — 100 connections and ≈42 s for 100 × 10 kB, with twice as much
   traffic as the actual data (§4.2, §5, Figs. 3 and 6);
 * lightweight background polling every ~40 s (≈42 b/s, §3.1).
+
+The profile is interpreted from the declarative spec file
+``specs/googledrive.json`` by the generic client engine; the edge-node
+steering is the spec's ``nearest_edge`` server placement, which resolves to
+the Google edge closest to the testbed.
 """
 
 from __future__ import annotations
 
-from repro.geo.datacenters import google_edge_nodes
-from repro.geo.locations import TESTBED_LOCATION
 from repro.netsim.simulator import NetworkSimulator
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient
-from repro.services.profile import (
-    ConnectionPolicy,
-    LoginSpec,
-    PollingSpec,
-    ServerSpec,
-    ServiceCapabilities,
-    ServiceProfile,
-    TimingSpec,
-)
-from repro.sync.compression import CompressionPolicy
-from repro.units import MB, mbps
+from repro.services.profile import ServiceProfile
+from repro.services.spec import builtin_spec
 
 __all__ = ["googledrive_profile", "GoogleDriveClient"]
 
 
 def googledrive_profile() -> ServiceProfile:
     """Profile encoding the paper's findings about the Google Drive client."""
-    edges = google_edge_nodes()
-    nearest_edge = min(edges, key=lambda edge: edge.location.distance_km(TESTBED_LOCATION))
-    control = ServerSpec(
-        hostname="clients6.google.com",
-        datacenter=nearest_edge,
-        rate_up_bps=mbps(20.0),
-        rate_down_bps=mbps(50.0),
-        server_processing=0.020,
-    )
-    storage = ServerSpec(
-        hostname="uploads.drive.google.com",
-        datacenter=nearest_edge,
-        rate_up_bps=mbps(28.0),
-        rate_down_bps=mbps(60.0),
-        server_processing=0.025,
-    )
-    return ServiceProfile(
-        name="googledrive",
-        display_name="Google Drive",
-        capabilities=ServiceCapabilities(
-            chunking="fixed",
-            chunk_size=8 * MB,
-            bundling=False,
-            compression=CompressionPolicy.SMART,
-            deduplication=False,
-            delta_encoding=False,
-        ),
-        control_servers=[control],
-        storage_servers=[storage],
-        polling=PollingSpec(interval=40.0, request_bytes=25, response_bytes=25),
-        login=LoginSpec(server_count=4, total_bytes=15_000, hostname_pattern="accounts{index}.google.com"),
-        timing=TimingSpec(
-            detection_delay=2.5,
-            bundle_wait=0.0,
-            per_file_preprocess=0.01,
-            per_mb_preprocess=0.04,
-            per_file_processing=0.26,
-        ),
-        connections=ConnectionPolicy(
-            new_storage_connection_per_file=True,
-            control_connections_per_file=0,
-            wait_app_ack_per_file=False,
-        ),
-    )
+    return builtin_spec("googledrive").build_profile()
 
 
 class GoogleDriveClient(CloudStorageClient):

@@ -131,6 +131,10 @@ class LoginSpec:
     total_bytes: int = 36_000
     #: Pattern used to derive per-login-server hostnames; ``{index}`` is replaced.
     hostname_pattern: str = "auth{index}.example.com"
+    #: Response bytes of the notification-channel subscription performed right
+    #: after login (Dropbox opens its plain-HTTP notification channel with a
+    #: long-poll GET).  ``0`` means no subscription exchange.
+    notification_subscribe_bytes: int = 0
 
 
 @dataclass(frozen=True)

@@ -13,89 +13,25 @@ What the paper reports about SkyDrive (v17.0.2006.0314):
   acknowledgement (§4.2);
 * by far the slowest synchronization start-up: at least 9 s, growing past
   20 s for a 100-file batch (Fig. 6a).
+
+The profile is interpreted from the declarative spec file
+``specs/skydrive.json`` by the generic client engine.
 """
 
 from __future__ import annotations
 
-from repro.geo.datacenters import provider_datacenters
 from repro.netsim.simulator import NetworkSimulator
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient
-from repro.services.profile import (
-    ConnectionPolicy,
-    LoginSpec,
-    PollingSpec,
-    ServerSpec,
-    ServiceCapabilities,
-    ServiceProfile,
-    TimingSpec,
-)
-from repro.sync.compression import CompressionPolicy
-from repro.units import MB, mbps
+from repro.services.profile import ServiceProfile
+from repro.services.spec import builtin_spec
 
 __all__ = ["skydrive_profile", "SkyDriveClient"]
 
 
 def skydrive_profile() -> ServiceProfile:
     """Profile encoding the paper's findings about the SkyDrive client."""
-    seattle, virginia, singapore = provider_datacenters("skydrive")
-    control = ServerSpec(
-        hostname="skyapi.live.net",
-        datacenter=virginia,
-        rate_up_bps=mbps(8.0),
-        rate_down_bps=mbps(20.0),
-        server_processing=0.030,
-    )
-    control_asia = ServerSpec(
-        hostname="roaming.live.net",
-        datacenter=singapore,
-        rate_up_bps=mbps(5.0),
-        rate_down_bps=mbps(10.0),
-        server_processing=0.040,
-    )
-    storage = ServerSpec(
-        hostname="storage.live.com",
-        datacenter=seattle,
-        rate_up_bps=mbps(2.5),
-        rate_down_bps=mbps(12.0),
-        server_processing=0.035,
-    )
-    storage_virginia = ServerSpec(
-        hostname="storage-east.live.com",
-        datacenter=virginia,
-        rate_up_bps=mbps(2.5),
-        rate_down_bps=mbps(12.0),
-        server_processing=0.035,
-    )
-    return ServiceProfile(
-        name="skydrive",
-        display_name="SkyDrive",
-        capabilities=ServiceCapabilities(
-            chunking="variable",
-            chunk_size=3 * MB,
-            bundling=False,
-            compression=CompressionPolicy.NEVER,
-            deduplication=False,
-            delta_encoding=False,
-        ),
-        control_servers=[control, control_asia],
-        storage_servers=[storage, storage_virginia],
-        polling=PollingSpec(interval=65.0, request_bytes=50, response_bytes=60),
-        login=LoginSpec(server_count=13, total_bytes=76_000, hostname_pattern="login{index}.live.com"),
-        timing=TimingSpec(
-            detection_delay=9.0,
-            bundle_wait=0.0,
-            per_file_preprocess=0.12,
-            per_mb_preprocess=0.05,
-            per_file_processing=0.02,
-        ),
-        connections=ConnectionPolicy(
-            new_storage_connection_per_file=False,
-            control_connections_per_file=0,
-            wait_app_ack_per_file=True,
-            per_file_commit_on_control=False,
-        ),
-    )
+    return builtin_spec("skydrive").build_profile()
 
 
 class SkyDriveClient(CloudStorageClient):

@@ -17,94 +17,27 @@ What the paper reports about Wuala (version "Strasbourg"):
   services from the European testbed (§3.2, §5.2);
 * the quietest background behaviour: one poll roughly every 5 minutes
   (≈60 b/s, §3.1).
+
+The profile is interpreted from the declarative spec file
+``specs/wuala.json`` by the generic client engine.  Wuala mixes control and
+storage on the same machines: the spec lists the same hosts in both roles
+and flow classification must rely on flow sizes, as the paper does.
 """
 
 from __future__ import annotations
 
-from repro.geo.datacenters import provider_datacenters
 from repro.netsim.simulator import NetworkSimulator
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient
-from repro.services.profile import (
-    ConnectionPolicy,
-    LoginSpec,
-    PollingSpec,
-    ServerSpec,
-    ServiceCapabilities,
-    ServiceProfile,
-    TimingSpec,
-)
-from repro.sync.compression import CompressionPolicy
-from repro.units import MB, mbps
+from repro.services.profile import ServiceProfile
+from repro.services.spec import builtin_spec
 
 __all__ = ["wuala_profile", "WualaClient"]
 
 
 def wuala_profile() -> ServiceProfile:
     """Profile encoding the paper's findings about the Wuala client."""
-    nuremberg1, nuremberg2, zurich, france = provider_datacenters("wuala")
-    # Wuala mixes control and storage on the same machines; the profile
-    # therefore lists the same hosts in both roles and flow classification
-    # must rely on flow sizes, as the paper does.
-    primary = ServerSpec(
-        hostname="storage1.wuala.com",
-        datacenter=nuremberg1,
-        rate_up_bps=mbps(35.0),
-        rate_down_bps=mbps(60.0),
-        server_processing=0.015,
-    )
-    secondary = ServerSpec(
-        hostname="storage2.wuala.com",
-        datacenter=nuremberg2,
-        rate_up_bps=mbps(35.0),
-        rate_down_bps=mbps(60.0),
-        server_processing=0.015,
-    )
-    zurich_server = ServerSpec(
-        hostname="storage3.wuala.com",
-        datacenter=zurich,
-        rate_up_bps=mbps(30.0),
-        rate_down_bps=mbps(50.0),
-        server_processing=0.015,
-    )
-    france_server = ServerSpec(
-        hostname="storage4.wuala.com",
-        datacenter=france,
-        rate_up_bps=mbps(30.0),
-        rate_down_bps=mbps(50.0),
-        server_processing=0.015,
-        port=80,
-        tls=False,
-    )
-    return ServiceProfile(
-        name="wuala",
-        display_name="Wuala",
-        capabilities=ServiceCapabilities(
-            chunking="variable",
-            chunk_size=3 * MB,
-            bundling=False,
-            compression=CompressionPolicy.NEVER,
-            deduplication=True,
-            delta_encoding=False,
-            client_side_encryption=True,
-        ),
-        control_servers=[primary, secondary],
-        storage_servers=[primary, secondary, zurich_server, france_server],
-        polling=PollingSpec(interval=300.0, request_bytes=900, response_bytes=1190),
-        login=LoginSpec(server_count=3, total_bytes=17_000, hostname_pattern="auth{index}.wuala.com"),
-        timing=TimingSpec(
-            detection_delay=4.5,
-            bundle_wait=0.0,
-            per_file_preprocess=0.05,
-            per_mb_preprocess=0.04,
-            per_file_processing=0.12,
-        ),
-        connections=ConnectionPolicy(
-            new_storage_connection_per_file=False,
-            control_connections_per_file=0,
-            wait_app_ack_per_file=True,
-        ),
-    )
+    return builtin_spec("wuala").build_profile()
 
 
 class WualaClient(CloudStorageClient):

@@ -16,7 +16,9 @@ from typing import List, Optional, Sequence
 from repro.capture.sniffer import Sniffer
 from repro.capture.trace import PacketTrace
 from repro.filegen.model import GeneratedFile
+from repro.netsim.scenario import ScenarioSpec
 from repro.netsim.simulator import NetworkSimulator
+from repro.randomness import DEFAULT_SEED
 from repro.services.backend import StorageBackend
 from repro.services.base import CloudStorageClient, SyncSummary
 from repro.services.registry import create_client, get_profile
@@ -52,12 +54,30 @@ class Observation:
 
 
 class TestbedController:
-    """Drives one service through one experiment run."""
+    """Drives one service through one experiment run.
 
-    def __init__(self, service: str, *, start_time: float = 0.0) -> None:
+    ``scenario`` overlays a network condition
+    (:class:`~repro.netsim.scenario.ScenarioSpec`) on every path the client
+    opens; its jitter terms are derived from ``seed``, so a seed sweep
+    under a jittery scenario spreads traffic-driven metrics across seeds.
+    ``None`` (or the identity baseline) leaves the simulator untouched and
+    every observation byte-identical to the scenario-less testbed.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        *,
+        start_time: float = 0.0,
+        scenario: Optional["ScenarioSpec"] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
         self.service = service.lower()
         self.profile = get_profile(self.service)
         self.simulator = NetworkSimulator(start_time=start_time)
+        self.scenario = scenario
+        if scenario is not None and not scenario.is_identity():
+            self.simulator.path_warp = scenario.bind(seed)
         self.sniffer = Sniffer(self.simulator)
         self.backend = StorageBackend(self.service)
         self.client: CloudStorageClient = create_client(self.service, self.simulator, self.backend)

@@ -26,6 +26,14 @@ from repro.errors import ConfigurationError
 #: One ``--seeds`` item: a single integer or an inclusive ``A..B`` range.
 _SEED_ITEM = re.compile(r"^(-?\d+)(?:\.\.(-?\d+))?$")
 
+#: A size literal in a spec file: a number plus an optional kB/MB/GB suffix.
+_SIZE = re.compile(r"^(\d+(?:\.\d+)?)\s*([kmg]?)b?$")
+
+_SIZE_MULTIPLIER = {"": 1, "k": 1000, "m": 1_000_000, "g": 1_000_000_000}
+
+#: The accepted size grammar, quoted by every parse error.
+SIZE_GRAMMAR = "a byte count with an optional kB/MB/GB suffix, e.g. '250000', '512kB', '4MB'"
+
 #: A ``--older-than`` age: a number plus an optional s/m/h/d/w suffix.
 _DURATION = re.compile(r"^(\d+(?:\.\d+)?)\s*([smhdw]?)$")
 
@@ -90,6 +98,59 @@ def parse_seeds(text: str) -> List[int]:
                 f"one sweep is capped at {MAX_SWEEP_SEEDS}"
             )
     return sorted(seeds)
+
+
+#: A rate literal in a spec file: a number plus an optional bps/kbps/mbps/gbps suffix.
+_RATE = re.compile(r"^(\d+(?:\.\d+)?)\s*([kmg]?)(?:bps|b/s)?$")
+
+_RATE_MULTIPLIER = {"": 1.0, "k": 1000.0, "m": 1_000_000.0, "g": 1_000_000_000.0}
+
+#: The accepted rate grammar, quoted by every parse error.
+RATE_GRAMMAR = "a number with an optional bps/kbps/Mbps/Gbps suffix, e.g. '250000', '500kbps', '8Mbps'"
+
+
+def parse_rate(value) -> float:
+    """Parse a link-rate spec value into bits per second.
+
+    Spec files may write rates as plain numbers (bits per second) or as
+    human-friendly strings like ``"8Mbps"`` / ``"500 kbps"``.  Raises
+    :class:`~repro.errors.ConfigurationError` (quoting the grammar) on
+    anything else.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"invalid rate {value!r}; accepted: {RATE_GRAMMAR}")
+    if isinstance(value, (int, float)):
+        rate = float(value)
+    else:
+        match = _RATE.match(str(value).strip().lower())
+        if match is None:
+            raise ConfigurationError(f"invalid rate {value!r}; accepted: {RATE_GRAMMAR}")
+        rate = float(match.group(1)) * _RATE_MULTIPLIER[match.group(2)]
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {value!r}")
+    return rate
+
+
+def parse_size(value) -> int:
+    """Parse a size spec value into bytes.
+
+    Spec files may write sizes as plain integers (bytes) or as strings with
+    the paper's decimal suffixes, e.g. ``"4MB"`` or ``"512kB"``.  Raises
+    :class:`~repro.errors.ConfigurationError` (quoting the grammar) on
+    anything else.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"invalid size {value!r}; accepted: {SIZE_GRAMMAR}")
+    if isinstance(value, (int, float)):
+        size = int(value)
+    else:
+        match = _SIZE.match(str(value).strip().lower())
+        if match is None:
+            raise ConfigurationError(f"invalid size {value!r}; accepted: {SIZE_GRAMMAR}")
+        size = int(float(match.group(1)) * _SIZE_MULTIPLIER[match.group(2)])
+    if size < 0:
+        raise ConfigurationError(f"size must be non-negative, got {value!r}")
+    return size
 
 
 def parse_duration(text: str) -> float:
