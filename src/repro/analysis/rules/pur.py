@@ -1,0 +1,120 @@
+"""PUR rules: purity/coverage invariants that span files.
+
+**PUR001** cross-checks the cache-key coverage contract between
+:class:`repro.core.campaign.CampaignConfig` and
+:func:`repro.core.store.cache_key`: every dataclass field of the config
+must appear in the ``CONFIG_KEY_FIELDS`` manifest next to ``cache_key``
+(and vice versa).  Adding a config knob without extending the key
+manifest is then a lint error at review time, not a silent
+cache-collision at sweep time — two campaigns differing only in the new
+knob would otherwise alias the same store entries.
+
+The rule is a *project* rule: it only fires when the linted file set
+contains both modules (so linting a test directory alone stays silent),
+and it reads the dataclass fields and the manifest from the ASTs, never
+by importing — the lint must work on a tree too broken to import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Rule, SourceModule
+from repro.analysis.findings import Finding
+
+__all__ = ["CacheKeyCoverageRule"]
+
+#: Path suffixes of the two modules bound by the contract.
+_CONFIG_MODULE = "repro/core/campaign.py"
+_STORE_MODULE = "repro/core/store.py"
+
+#: The dataclass whose fields must all reach the key material.
+_CONFIG_CLASS = "CampaignConfig"
+
+#: The manifest constant the store declares its coverage with.
+_MANIFEST_NAME = "CONFIG_KEY_FIELDS"
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> Optional[List[str]]:
+    """The annotated field names of a (data)class, in declaration order."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = []
+            for statement in node.body:
+                if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+                    fields.append(statement.target.id)
+            return fields
+    return None
+
+
+def _manifest(tree: ast.Module) -> Optional[Tuple[ast.AST, List[str]]]:
+    """The ``CONFIG_KEY_FIELDS`` assignment node and its string items."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(target, ast.Name) and target.id == _MANIFEST_NAME for target in node.targets):
+            continue
+        items: List[str] = []
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    items.append(element.value)
+        return node, items
+    return None
+
+
+class CacheKeyCoverageRule(Rule):
+    rule_id = "PUR001"
+    title = "CampaignConfig fields not covered by the cache key"
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        config_module = next((m for m in modules if m.path.endswith(_CONFIG_MODULE)), None)
+        store_module = next((m for m in modules if m.path.endswith(_STORE_MODULE)), None)
+        if config_module is None or store_module is None:
+            return
+        if config_module.tree is None or store_module.tree is None:
+            return  # the parse failure is already reported as ENG001
+        fields = _dataclass_fields(config_module.tree, _CONFIG_CLASS)
+        if fields is None:
+            yield Finding(
+                path=config_module.path, line=0, column=0, rule=self.rule_id,
+                message=f"class {_CONFIG_CLASS} not found; the cache-key coverage contract cannot be checked",
+            )
+            return
+        manifest = _manifest(store_module.tree)
+        if manifest is None:
+            yield Finding(
+                path=store_module.path, line=0, column=0, rule=self.rule_id,
+                message=(
+                    f"{_MANIFEST_NAME} manifest not found next to cache_key; "
+                    f"declare the {_CONFIG_CLASS} fields the key material covers"
+                ),
+            )
+            return
+        node, covered = manifest
+        missing = sorted(set(fields) - set(covered))
+        extra = sorted(set(covered) - set(fields))
+        if missing:
+            yield Finding(
+                path=store_module.path,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=(
+                    f"{_CONFIG_CLASS} field(s) {', '.join(missing)} missing from {_MANIFEST_NAME}: "
+                    "extend the cache key (and bump STORE_SCHEMA_VERSION) or campaigns differing "
+                    "only in the new field will alias the same store entries"
+                ),
+            )
+        if extra:
+            yield Finding(
+                path=store_module.path,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=(
+                    f"{_MANIFEST_NAME} names unknown {_CONFIG_CLASS} field(s) {', '.join(extra)}: "
+                    "the manifest must mirror the dataclass exactly"
+                ),
+            )

@@ -1,0 +1,147 @@
+"""Spec-document linting: ServiceSpec / ScenarioSpec files as lint targets.
+
+A spec file is executable configuration — a typo'd key or a bad unit
+string otherwise surfaces as a runtime :class:`ConfigurationError` in the
+middle of a campaign.  ``cloudbench lint --specs FILE`` (and any
+``.toml``/``.json`` under a ``specs`` directory in the linted tree) moves
+that to lint time, reusing the very loaders the runtime uses
+(:mod:`repro.specio`, :func:`repro.services.spec.profile_from_spec_dict`,
+:meth:`repro.netsim.scenario.ScenarioSpec.from_dict`), so the lint can
+never drift from what the engine actually accepts:
+
+* **SPEC001** — the document itself is malformed: unreadable, invalid
+  TOML/JSON, a non-table top level, an unknown top-level key, or no
+  service/scenario entries at all.
+* **SPEC002** — one entry does not build: unknown fields, unit-grammar
+  errors (``repro.units`` parsers), missing required servers, invalid
+  scenario parameters — whatever the runtime loader rejects.
+* **SPEC003** — an entry builds but its capabilities conflict: fixed
+  chunking without a chunk size, a chunk size with chunking disabled, or
+  bundling capped below two files (bundling that can never bundle).
+
+Spec findings carry line 0: the TOML/JSON parsers do not preserve source
+positions, and a deterministic 0 beats a guessed line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+from repro.netsim.scenario import ScenarioSpec
+from repro.services.profile import ServiceProfile
+from repro.services.spec import profile_from_spec_dict
+from repro.specio import load_document
+
+__all__ = ["SPEC_RULES", "lint_spec_file"]
+
+#: Spec-lint rule ids and titles (for ``--list-rules`` and the README).
+SPEC_RULES = {
+    "SPEC001": "malformed spec document",
+    "SPEC002": "spec entry rejected by the runtime loader",
+    "SPEC003": "capability conflict in a service spec",
+}
+
+#: Top-level keys a spec document may carry.
+_ENTRY_KEYS = ("service", "services", "scenario", "scenarios")
+
+#: Keys marking a bare top-level table as a service (vs. scenario) spec.
+_SERVICE_MARKERS = ("capabilities", "control_servers", "storage_servers")
+
+
+def _finding(path: str, rule: str, message: str) -> Finding:
+    return Finding(path=path, line=0, column=0, rule=rule, message=message)
+
+
+def _entries(document: Mapping, singular: str, plural: str) -> List[Any]:
+    raw = document.get(singular, document.get(plural))
+    if raw is None:
+        return []
+    if isinstance(raw, Mapping):
+        return [raw]
+    if isinstance(raw, list):
+        return list(raw)
+    return [raw]
+
+
+def _capability_conflicts(label: str, profile: ServiceProfile) -> List[str]:
+    """Human-readable conflicts between capabilities that each parse fine alone."""
+    conflicts = []
+    capabilities = profile.capabilities
+    if capabilities.chunking == "fixed" and capabilities.chunk_size is None:
+        conflicts.append(f"{label}: chunking='fixed' needs a chunk_size")
+    if capabilities.chunking == "none" and capabilities.chunk_size is not None:
+        conflicts.append(f"{label}: chunk_size is set but chunking='none' (dead knob or missing chunking mode)")
+    if capabilities.bundling and profile.max_bundle_files < 2:
+        conflicts.append(
+            f"{label}: bundling=true with max_bundle_files={profile.max_bundle_files} can never bundle"
+        )
+    return conflicts
+
+
+def _entry_label(kind: str, index: int, entry: Any) -> str:
+    name = entry.get("name") if isinstance(entry, Mapping) else None
+    return f"{kind}[{index}]" + (f" {name!r}" if name else "")
+
+
+def lint_spec_file(path: str) -> List[Finding]:
+    """Every finding of one spec document, in canonical order."""
+    display = path.replace("\\", "/")
+    try:
+        document: Dict[str, Any] = load_document(path)
+    except ConfigurationError as error:
+        return [_finding(display, "SPEC001", str(error))]
+    findings: List[Finding] = []
+
+    services = _entries(document, "service", "services")
+    scenarios = _entries(document, "scenario", "scenarios")
+    if not services and not scenarios:
+        if "name" in document:
+            # A bare top-level table: a single service or a single scenario.
+            if any(marker in document for marker in _SERVICE_MARKERS):
+                services = [document]
+            else:
+                scenarios = [document]
+        else:
+            findings.append(
+                _finding(
+                    display,
+                    "SPEC001",
+                    "no spec entries found (expected [[service]] / [[scenario]] tables, "
+                    "or a single named table)",
+                )
+            )
+    else:
+        unknown = sorted(key for key in map(str, document) if key not in _ENTRY_KEYS)
+        if unknown:
+            findings.append(
+                _finding(
+                    display,
+                    "SPEC001",
+                    f"unknown top-level key(s) {', '.join(unknown)}; "
+                    f"a spec document holds only {', '.join(_ENTRY_KEYS)} tables",
+                )
+            )
+
+    for index, entry in enumerate(services):
+        label = _entry_label("service", index, entry)
+        try:
+            profile = profile_from_spec_dict(entry)
+        except ConfigurationError as error:
+            findings.append(_finding(display, "SPEC002", f"{label}: {error}"))
+            continue
+        for conflict in _capability_conflicts(label, profile):
+            findings.append(_finding(display, "SPEC003", conflict))
+
+    for index, entry in enumerate(scenarios):
+        label = _entry_label("scenario", index, entry)
+        if not isinstance(entry, Mapping):
+            findings.append(_finding(display, "SPEC002", f"{label}: must be a table, got {type(entry).__name__}"))
+            continue
+        try:
+            ScenarioSpec.from_dict(dict(entry))
+        except ConfigurationError as error:
+            findings.append(_finding(display, "SPEC002", f"{label}: {error}"))
+
+    return sorted(set(findings))

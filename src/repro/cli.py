@@ -296,6 +296,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic results document (byte-identical to `cloudbench all --json`)",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="static determinism analysis: DET/PUR AST rules over Python, SPEC checks over spec files",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help=(
+            "files or directories to lint (default: the current directory); .py files "
+            "run the AST rules, .toml/.json files under a 'specs' directory are "
+            "linted as ServiceSpec/ScenarioSpec documents"
+        ),
+    )
+    lint.add_argument(
+        "--specs",
+        dest="lint_specs",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="additionally lint this ServiceSpec/ScenarioSpec TOML/JSON document (repeatable)",
+    )
+    lint.add_argument(
+        "--json",
+        dest="lint_json",
+        action="store_true",
+        help="emit the findings as a canonical JSON document instead of text",
+    )
+    lint.add_argument(
+        "--list-rules",
+        dest="lint_list_rules",
+        action="store_true",
+        help="print every rule id and title, then exit",
+    )
+
     cache = subparsers.add_parser("cache", help="inspect or prune a result store directory")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_ls = cache_sub.add_parser("ls", help="list the store's cells (stage/service/unit/seed/runner)")
@@ -472,6 +507,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``cloudbench`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        # Lint is self-contained static analysis: no scenario/service
+        # resolution, no simulator imports beyond what the spec linter needs.
+        from repro.analysis.cli import execute as lint_execute
+
+        return lint_execute(
+            args.paths,
+            args.lint_specs,
+            as_json=args.lint_json,
+            list_rules=args.lint_list_rules,
+            error=parser.error,
+        )
     try:
         # Register declarative specs first: spec-defined services and
         # scenarios are then first-class citizens of every flag below.

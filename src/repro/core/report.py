@@ -65,8 +65,17 @@ def to_json_text(payload: object) -> str:
     indentation, separators and key order), so two payloads that compare
     equal serialize byte-identically — the property the sharded-campaign
     acceptance check (`cloudbench merge` vs. `cloudbench all`) diffs on.
+
+    ``sort_keys=False`` is deliberate, not an omission: for the results
+    and sweep documents *insertion order is the canonical order*.  Every
+    document builder assembles its dicts in one fixed field order (pure
+    functions of plan + seed + config), the golden fixtures under
+    ``tests/data/`` pin those exact bytes against earlier releases, and
+    re-sorting would break byte-compatibility with every document already
+    on disk.  Lint rule DET004 requires exactly this: the key-order
+    contract must be stated explicitly, whichever way it goes.
     """
-    return json.dumps(payload, indent=2, default=str) + "\n"
+    return json.dumps(payload, indent=2, default=str, sort_keys=False) + "\n"
 
 
 def write_json(path: str, payload: object) -> str:

@@ -39,12 +39,15 @@ import tempfile
 import time
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.errors import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.core.campaign import CampaignCell, CellResult
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "CONFIG_KEY_FIELDS",
     "cache_key",
     "ResultStore",
     "StoreEntry",
@@ -64,6 +67,21 @@ DEFAULT_CACHE_DIR = ".cloudbench-cache"
 #: Characters allowed verbatim in store file names; the rest become ``_``.
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
+#: Every :class:`~repro.core.campaign.CampaignConfig` field the key material
+#: of :func:`cache_key` covers, in the sorted order the material serializes
+#: them.  This manifest is the cache-key coverage contract: lint rule PUR001
+#: cross-checks it against the dataclass, and :func:`cache_key` verifies it
+#: at runtime — so adding a config field without extending the key (and
+#: bumping :data:`STORE_SCHEMA_VERSION`) is an error, never a silent
+#: cache-collision between campaigns that differ only in the new field.
+CONFIG_KEY_FIELDS = (
+    "idle_duration",
+    "planetlab_count",
+    "repetitions",
+    "resolver_count",
+    "scenario",
+)
+
 
 def cache_key(cell: "CampaignCell") -> str:
     """Content hash of one cell's full identity.
@@ -78,6 +96,14 @@ def cache_key(cell: "CampaignCell") -> str:
     """
     from repro.services.registry import spec_fingerprint  # deferred: registry imports are heavy
 
+    config_items = sorted(dataclasses.asdict(cell.config).items())
+    covered = tuple(name for name, _ in config_items)
+    if covered != CONFIG_KEY_FIELDS:
+        raise ConfigurationError(
+            f"cache_key covers config fields {covered}, but CONFIG_KEY_FIELDS declares "
+            f"{CONFIG_KEY_FIELDS}; extend the manifest (and bump STORE_SCHEMA_VERSION) "
+            "so the new field cannot alias existing store entries"
+        )
     material = repr(
         (
             STORE_SCHEMA_VERSION,
@@ -86,7 +112,7 @@ def cache_key(cell: "CampaignCell") -> str:
             spec_fingerprint(cell.service),
             cell.unit,
             cell.seed,
-            sorted(dataclasses.asdict(cell.config).items()),
+            config_items,
         )
     )
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
@@ -338,7 +364,9 @@ class ResultStore:
         if wipe_all:
             claims = self.claims_root()
             if os.path.isdir(claims):
-                for name in os.listdir(claims):
+                # Sorted like every other walk (cf. ClaimBoard.leases): the
+                # deletion outcome is order-free, but log/trace order is not.
+                for name in sorted(os.listdir(claims)):
                     try:
                         os.unlink(os.path.join(claims, name))
                     except OSError:  # pragma: no cover

@@ -172,7 +172,7 @@ class TestCampaignExecution:
 
     def test_json_dict_is_serializable_with_per_cell_rows(self, sequential):
         payload = sequential.to_json_dict()
-        text = json.dumps(payload, default=str)
+        text = json.dumps(payload, default=str, sort_keys=True)
         decoded = json.loads(text)
         assert decoded["jobs"] == 1
         assert decoded["stages"] == STAGE_SUBSET  # canonical stage order

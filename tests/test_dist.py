@@ -129,7 +129,7 @@ class TestClaimBoard:
         beta = self.setup_board(tmp_path, "beta", timeout=30.0)
         assert alpha.claim(cell)
         # Age the lease past the timeout, as a dead runner's would.
-        old = time.time() - 300.0
+        old = time.time() - 300.0  # repro: disable=DET003 (aging a lease file is the point)
         os.utime(alpha.path_for(cell), (old, old))
         assert beta.claim(cell) is True
         lease = beta.holder(cell)
@@ -140,7 +140,7 @@ class TestClaimBoard:
         alpha = self.setup_board(tmp_path, "alpha", timeout=30.0)
         beta = self.setup_board(tmp_path, "beta", timeout=30.0)
         assert alpha.claim(cell)
-        old = time.time() - 300.0
+        old = time.time() - 300.0  # repro: disable=DET003 (aging a lease file is the point)
         os.utime(alpha.path_for(cell), (old, old))
         alpha.heartbeat(cell)  # the worker is alive after all
         assert beta.claim(cell) is False
@@ -151,7 +151,7 @@ class TestClaimBoard:
         os.makedirs(alpha.root, exist_ok=True)
         with open(alpha.path_for(cell), "w", encoding="utf-8") as handle:
             handle.write("not json")
-        old = time.time() - 300.0
+        old = time.time() - 300.0  # repro: disable=DET003 (aging a lease file is the point)
         os.utime(alpha.path_for(cell), (old, old))
         assert alpha.claim(cell) is True
 
@@ -263,7 +263,7 @@ class TestShardWorker:
         held = runner.cells()[0]
         rival = ClaimBoard(ResultStore(str(store_dir)), "dead-rival", lease_timeout=5.0)
         assert rival.claim(held)
-        old = time.time() - 600.0
+        old = time.time() - 600.0  # repro: disable=DET003 (aging a lease file is the point)
         os.utime(rival.path_for(held), (old, old))
         report = ShardWorker(make_runner(store_dir), steal=True, runner_id="survivor", lease_timeout=5.0).run()
         assert report.yielded == [] and len(report.computed) == report.planned

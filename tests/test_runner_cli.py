@@ -300,7 +300,7 @@ class TestDistributedCLI:
         for dirpath, _, filenames in os.walk(store):
             for name in filenames:
                 path = os.path.join(dirpath, name)
-                aged = time.time() - 7200.0
+                aged = time.time() - 7200.0  # repro: disable=DET003 (aging store entries for TTL GC)
                 os.utime(path, (aged, aged))
         assert main(["cache", "rm", "--store", store, "--older-than", "1h"]) == 0
         assert "removed 1 entry" in capsys.readouterr().out

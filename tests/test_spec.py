@@ -209,14 +209,14 @@ class TestSpecFiles:
 
     def test_load_json_services(self, tmp_path):
         path = tmp_path / "services.json"
-        path.write_text(json.dumps({"service": [synthetic_spec().to_dict()]}))
+        path.write_text(json.dumps({"service": [synthetic_spec().to_dict()]}, sort_keys=True))
         specs = load_service_specs(str(path))
         assert specs[0].canonical_json() == synthetic_spec().canonical_json()
 
     def test_duplicate_names_rejected(self, tmp_path):
         path = tmp_path / "dup.json"
         doc = synthetic_spec().to_dict()
-        path.write_text(json.dumps({"service": [doc, doc]}))
+        path.write_text(json.dumps({"service": [doc, doc]}, sort_keys=True))
         with pytest.raises(ConfigurationError):
             load_service_specs(str(path))
 
@@ -349,7 +349,7 @@ class TestRegistry:
 
     def test_register_services_from_file(self, clean_registry, tmp_path):
         path = tmp_path / "fleet.json"
-        path.write_text(json.dumps({"service": [synthetic_spec().to_dict()]}))
+        path.write_text(json.dumps({"service": [synthetic_spec().to_dict()]}, sort_keys=True))
         assert register_services_from_file(str(path)) == ["synthtest"]
         assert "synthtest" in SERVICE_NAMES
 

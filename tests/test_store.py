@@ -279,7 +279,7 @@ class TestResultStoreRoundTrip:
             handle.write("{}")
         store.save(run_cell(CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)))
         assert store.prune() == 1
-        assert os.listdir(claims) == []
+        assert sorted(os.listdir(claims)) == []
 
 
 class TestCampaignCaching:
