@@ -9,6 +9,7 @@ methodology faithful to the paper.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import CaptureError
@@ -37,13 +38,17 @@ def count_tcp_syns(trace: PacketTrace, *, outgoing_only: bool = True) -> int:
     i.e. SYN/ACKs from servers are excluded — this matches counting the
     connections the client opens (Fig. 3).
     """
+    columns = trace.sorted_columns()
+    syn = TCPFlags.SYN
+    ack = TCPFlags.ACK
+    out = PacketDirection.OUT
     count = 0
-    for packet in trace:
-        if not packet.is_syn:
+    for flags, direction in zip(columns.flags, columns.directions):
+        if not (flags & syn):
             continue
-        if bool(packet.flags & TCPFlags.ACK):
+        if flags & ack:
             continue  # SYN/ACK from the server
-        if outgoing_only and packet.direction is not PacketDirection.OUT:
+        if outgoing_only and direction is not out:
             continue
         count += 1
     return count
@@ -62,13 +67,16 @@ def syn_time_series(trace: PacketTrace, *, relative: bool = True) -> List[Tuple[
     the trace.
     """
     origin = trace.first_timestamp() or 0.0
+    columns = trace.sorted_columns()
+    syn = TCPFlags.SYN
+    ack = TCPFlags.ACK
+    out = PacketDirection.OUT
     series: List[Tuple[float, int]] = []
     count = 0
-    for packet in trace:
-        if packet.is_syn and not bool(packet.flags & TCPFlags.ACK) and packet.direction is PacketDirection.OUT:
+    for timestamp, flags, direction in zip(columns.timestamps, columns.flags, columns.directions):
+        if (flags & syn) and not (flags & ack) and direction is out:
             count += 1
-            timestamp = packet.timestamp - origin if relative else packet.timestamp
-            series.append((timestamp, count))
+            series.append((timestamp - origin if relative else timestamp, count))
     return series
 
 
@@ -90,23 +98,26 @@ def cumulative_bytes_series(
     origin = trace.first_timestamp() or 0.0
     if not relative:
         origin = 0.0
-    packets = list(trace)
+    columns = trace.sorted_columns()
+    timestamps = columns.timestamps
+    wire_lens = [headers + payload for headers, payload in zip(columns.headers_lens, columns.payload_lens)]
+    count = len(timestamps)
     end = duration if duration is not None else (trace.last_timestamp() or 0.0) - origin
     series: List[Tuple[float, float]] = []
     cumulative = 0.0
     index = 0
     sample_time = 0.0
     while sample_time <= end + 1e-9:
-        while index < len(packets) and packets[index].timestamp - origin <= sample_time + 1e-9:
-            cumulative += packets[index].wire_len
+        while index < count and timestamps[index] - origin <= sample_time + 1e-9:
+            cumulative += wire_lens[index]
             index += 1
         series.append((sample_time, cumulative))
         sample_time += interval
     if not series or series[-1][0] < end - 1e-9:
         # Close the series exactly at the end of the observation window so
         # the last sample accounts for every captured byte.
-        while index < len(packets) and packets[index].timestamp - origin <= end + 1e-9:
-            cumulative += packets[index].wire_len
+        while index < count and timestamps[index] - origin <= end + 1e-9:
+            cumulative += wire_lens[index]
             index += 1
         series.append((end, cumulative))
     return series
@@ -124,12 +135,13 @@ def count_application_bursts(trace: PacketTrace, *, gap: float = 0.05) -> int:
     payload = trace.payload_packets().outgoing()
     if payload.is_empty():
         return 0
+    timestamps = payload.sorted_columns().timestamps
     bursts = 1
-    previous = payload.packets[0].timestamp
-    for packet in payload.packets[1:]:
-        if packet.timestamp - previous > gap:
+    previous = timestamps[0]
+    for timestamp in islice(timestamps, 1, None):
+        if timestamp - previous > gap:
             bursts += 1
-        previous = packet.timestamp
+        previous = timestamp
     return bursts
 
 
@@ -147,15 +159,16 @@ def burst_payload_sizes(trace: PacketTrace, *, gap: float = 0.05) -> List[int]:
     payload = trace.payload_packets().outgoing()
     if payload.is_empty():
         return []
+    columns = payload.sorted_columns()
     sizes: List[int] = []
     current = 0
-    previous = payload.packets[0].timestamp
-    for packet in payload.packets:
-        if packet.timestamp - previous > gap and current > 0:
+    previous = columns.timestamps[0]
+    for timestamp, payload_len in zip(columns.timestamps, columns.payload_lens):
+        if timestamp - previous > gap and current > 0:
             sizes.append(current)
             current = 0
-        current += packet.payload_len
-        previous = packet.timestamp
+        current += payload_len
+        previous = timestamp
     if current > 0:
         sizes.append(current)
     return sizes
@@ -230,11 +243,12 @@ def classify_hosts(
     hosts (Wuala) the paper falls back to flow sizes — hosts whose flows
     carry more than ``payload_threshold`` payload bytes are storage.
     """
+    columns = trace.sorted_columns()
     totals: Dict[str, int] = {}
-    for packet in trace:
-        if not packet.hostname:
+    for hostname, payload_len in zip(columns.hostnames, columns.payload_lens):
+        if not hostname:
             continue
-        totals[packet.hostname] = totals.get(packet.hostname, 0) + packet.payload_len
+        totals[hostname] = totals.get(hostname, 0) + payload_len
     return {
         hostname: "storage" if total >= payload_threshold else "control"
         for hostname, total in totals.items()

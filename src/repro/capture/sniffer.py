@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.netsim.packet import Packet
+from repro.netsim.packet import Packet, PacketBatch
 from repro.netsim.simulator import NetworkSimulator
 from repro.capture.trace import PacketTrace
 
@@ -31,6 +31,11 @@ class Sniffer:
         """Sniffer callback invoked by the simulator for each packet."""
         if self._capturing:
             self.trace.append(packet)
+
+    def accept_batch(self, batch: PacketBatch) -> None:
+        """Batch callback: record a whole emission burst column-wise."""
+        if self._capturing:
+            self.trace.extend_batch(batch)
 
     # ------------------------------------------------------------------ #
     # Capture control

@@ -1,12 +1,53 @@
-"""Packet traces: ordered collections of captured packets with filtering."""
+"""Packet traces: ordered collections of captured packets with filtering.
+
+The trace is stored *columnar* (struct-of-arrays): one list per packet
+field, kept in capture order and lazily re-ordered by timestamp when a
+time-sensitive accessor needs it.  The public API is unchanged from the
+row-oriented original — ``packets``, ``__iter__`` and ``__getitem__``
+materialize :class:`~repro.netsim.packet.Packet` views on demand (and
+cache them), while filters and aggregates work directly on the columns:
+
+* ``between``/``after`` bisect the sorted timestamp column instead of
+  scanning every packet;
+* ``for_connection``/``to_hosts`` use lazily built per-connection and
+  per-hostname index maps;
+* byte/payload totals are column sums that never build a ``Packet``.
+
+Sniffers append whole emission bursts at once via :meth:`extend_batch`,
+which extends each column with one C-level call per field.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from bisect import bisect_left, bisect_right
+from itertools import islice, repeat
+from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
-from repro.netsim.packet import Packet, PacketDirection
+from repro.netsim.packet import Packet, PacketBatch, PacketDirection
 
-__all__ = ["PacketTrace"]
+__all__ = ["PacketTrace", "TraceColumns"]
+
+
+class TraceColumns(NamedTuple):
+    """Read-only struct-of-arrays view of a trace, sorted by timestamp.
+
+    The analysis fast paths iterate these parallel lists instead of
+    materialized :class:`Packet` objects.  Callers must not mutate them.
+    """
+
+    timestamps: List[float]
+    sources: List[str]
+    destinations: List[str]
+    source_ports: List[int]
+    destination_ports: List[int]
+    directions: List[PacketDirection]
+    flags: List[object]
+    payload_lens: List[int]
+    headers_lens: List[int]
+    protocols: List[str]
+    connection_ids: List[int]
+    hostnames: List[str]
+    notes: List[str]
 
 
 class PacketTrace:
@@ -14,124 +55,403 @@ class PacketTrace:
 
     Packets are appended by the sniffer in emission order; because background
     events and asynchronous FIN packets may be stamped slightly out of order,
-    accessors sort lazily by timestamp when needed.
+    accessors sort lazily by timestamp when needed.  The sort is stable:
+    packets sharing a timestamp keep their capture order, exactly like the
+    row-oriented implementation this replaces.
     """
 
+    __slots__ = (
+        "_ts",
+        "_src",
+        "_dst",
+        "_sport",
+        "_dport",
+        "_dir",
+        "_flags",
+        "_payload",
+        "_headers",
+        "_proto",
+        "_conn",
+        "_host",
+        "_note",
+        "_sorted",
+        "_views",
+        "_conn_index",
+        "_host_index",
+    )
+
     def __init__(self, packets: Optional[Iterable[Packet]] = None) -> None:
-        self._packets: List[Packet] = list(packets) if packets is not None else []
-        self._sorted = False
+        self._ts: List[float] = []
+        self._src: List[str] = []
+        self._dst: List[str] = []
+        self._sport: List[int] = []
+        self._dport: List[int] = []
+        self._dir: List[PacketDirection] = []
+        self._flags: List[object] = []
+        self._payload: List[int] = []
+        self._headers: List[int] = []
+        self._proto: List[str] = []
+        self._conn: List[int] = []
+        self._host: List[str] = []
+        self._note: List[str] = []
+        self._sorted = True
+        self._views: Optional[List[Packet]] = None
+        self._conn_index: Optional[Dict[int, List[int]]] = None
+        self._host_index: Optional[Dict[str, List[int]]] = None
+        if packets is not None:
+            self.extend(packets)
 
     # ------------------------------------------------------------------ #
     # Collection protocol
     # ------------------------------------------------------------------ #
     def append(self, packet: Packet) -> None:
         """Add one packet to the trace."""
-        self._packets.append(packet)
-        self._sorted = False
+        if self._sorted and self._ts and packet.timestamp < self._ts[-1]:
+            self._sorted = False
+        self._ts.append(packet.timestamp)
+        self._src.append(packet.src)
+        self._dst.append(packet.dst)
+        self._sport.append(packet.src_port)
+        self._dport.append(packet.dst_port)
+        self._dir.append(packet.direction)
+        self._flags.append(packet.flags)
+        self._payload.append(packet.payload_len)
+        self._headers.append(packet.headers_len)
+        self._proto.append(packet.protocol)
+        self._conn.append(packet.connection_id)
+        self._host.append(packet.hostname)
+        self._note.append(packet.note)
+        self._views = None
+        self._conn_index = None
+        self._host_index = None
 
     def extend(self, packets: Iterable[Packet]) -> None:
         """Add several packets to the trace."""
-        self._packets.extend(packets)
-        self._sorted = False
+        for packet in packets:
+            self.append(packet)
+
+    def extend_batch(self, batch: PacketBatch) -> None:
+        """Append a column-oriented emission burst without building packets."""
+        count = len(batch)
+        if count == 0:
+            return
+        timestamps = batch.timestamps
+        if self._sorted:
+            if self._ts and timestamps[0] < self._ts[-1]:
+                self._sorted = False
+            else:
+                self._sorted = all(
+                    earlier <= later for earlier, later in zip(timestamps, islice(timestamps, 1, None))
+                )
+        self._ts.extend(timestamps)
+        self._payload.extend(batch.payload_lens)
+        self._headers.extend(batch.headers_lens)
+        self._src.extend(repeat(batch.src, count))
+        self._dst.extend(repeat(batch.dst, count))
+        self._sport.extend(repeat(batch.src_port, count))
+        self._dport.extend(repeat(batch.dst_port, count))
+        self._dir.extend(repeat(batch.direction, count))
+        self._flags.extend(repeat(batch.flags, count))
+        self._proto.extend(repeat(batch.protocol, count))
+        self._conn.extend(repeat(batch.connection_id, count))
+        self._host.extend(repeat(batch.hostname, count))
+        self._note.extend(repeat(batch.note, count))
+        self._views = None
+        self._conn_index = None
+        self._host_index = None
 
     def __len__(self) -> int:
-        return len(self._packets)
+        return len(self._ts)
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets)
 
-    def __getitem__(self, index: int) -> Packet:
+    def __getitem__(self, index):
         return self.packets[index]
 
     @property
     def packets(self) -> Sequence[Packet]:
-        """Packets sorted by capture timestamp."""
-        if not self._sorted:
-            self._packets.sort(key=lambda packet: packet.timestamp)
-            self._sorted = True
-        return self._packets
+        """Packets sorted by capture timestamp (lazily materialized views)."""
+        if self._views is None:
+            self._ensure_sorted()
+            self._views = [
+                Packet(
+                    timestamp=timestamp,
+                    src=src,
+                    dst=dst,
+                    src_port=sport,
+                    dst_port=dport,
+                    direction=direction,
+                    flags=flags,
+                    payload_len=payload,
+                    headers_len=headers,
+                    protocol=protocol,
+                    connection_id=connection_id,
+                    hostname=hostname,
+                    note=note,
+                )
+                for (
+                    timestamp,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    direction,
+                    flags,
+                    payload,
+                    headers,
+                    protocol,
+                    connection_id,
+                    hostname,
+                    note,
+                ) in zip(
+                    self._ts,
+                    self._src,
+                    self._dst,
+                    self._sport,
+                    self._dport,
+                    self._dir,
+                    self._flags,
+                    self._payload,
+                    self._headers,
+                    self._proto,
+                    self._conn,
+                    self._host,
+                    self._note,
+                )
+            ]
+        return self._views
 
     def is_empty(self) -> bool:
         """True when no packets were captured."""
-        return not self._packets
+        return not self._ts
+
+    # ------------------------------------------------------------------ #
+    # Columnar internals
+    # ------------------------------------------------------------------ #
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        order = sorted(range(len(self._ts)), key=self._ts.__getitem__)
+        self._ts = [self._ts[i] for i in order]
+        self._src = [self._src[i] for i in order]
+        self._dst = [self._dst[i] for i in order]
+        self._sport = [self._sport[i] for i in order]
+        self._dport = [self._dport[i] for i in order]
+        self._dir = [self._dir[i] for i in order]
+        self._flags = [self._flags[i] for i in order]
+        self._payload = [self._payload[i] for i in order]
+        self._headers = [self._headers[i] for i in order]
+        self._proto = [self._proto[i] for i in order]
+        self._conn = [self._conn[i] for i in order]
+        self._host = [self._host[i] for i in order]
+        self._note = [self._note[i] for i in order]
+        self._sorted = True
+        self._views = None
+        self._conn_index = None
+        self._host_index = None
+
+    def sorted_columns(self) -> TraceColumns:
+        """The trace as parallel columns, sorted by timestamp."""
+        self._ensure_sorted()
+        return TraceColumns(
+            self._ts,
+            self._src,
+            self._dst,
+            self._sport,
+            self._dport,
+            self._dir,
+            self._flags,
+            self._payload,
+            self._headers,
+            self._proto,
+            self._conn,
+            self._host,
+            self._note,
+        )
+
+    def _slice(self, lo: int, hi: int) -> "PacketTrace":
+        """A new trace from a contiguous range of the sorted columns."""
+        trace = PacketTrace.__new__(PacketTrace)
+        trace._ts = self._ts[lo:hi]
+        trace._src = self._src[lo:hi]
+        trace._dst = self._dst[lo:hi]
+        trace._sport = self._sport[lo:hi]
+        trace._dport = self._dport[lo:hi]
+        trace._dir = self._dir[lo:hi]
+        trace._flags = self._flags[lo:hi]
+        trace._payload = self._payload[lo:hi]
+        trace._headers = self._headers[lo:hi]
+        trace._proto = self._proto[lo:hi]
+        trace._conn = self._conn[lo:hi]
+        trace._host = self._host[lo:hi]
+        trace._note = self._note[lo:hi]
+        trace._sorted = True
+        trace._views = None
+        trace._conn_index = None
+        trace._host_index = None
+        return trace
+
+    def _select(self, indices: Sequence[int]) -> "PacketTrace":
+        """A new trace from ascending positions of the sorted columns."""
+        count = len(indices)
+        if count == 0:
+            return self._slice(0, 0)
+        lo = indices[0]
+        hi = indices[count - 1]
+        if hi - lo + 1 == count:
+            # Ascending with no gaps: a contiguous run (e.g. a connection
+            # whose packets were not interleaved) — slice at C speed.
+            return self._slice(lo, hi + 1)
+        trace = PacketTrace.__new__(PacketTrace)
+        trace._ts = list(map(self._ts.__getitem__, indices))
+        trace._src = list(map(self._src.__getitem__, indices))
+        trace._dst = list(map(self._dst.__getitem__, indices))
+        trace._sport = list(map(self._sport.__getitem__, indices))
+        trace._dport = list(map(self._dport.__getitem__, indices))
+        trace._dir = list(map(self._dir.__getitem__, indices))
+        trace._flags = list(map(self._flags.__getitem__, indices))
+        trace._payload = list(map(self._payload.__getitem__, indices))
+        trace._headers = list(map(self._headers.__getitem__, indices))
+        trace._proto = list(map(self._proto.__getitem__, indices))
+        trace._conn = list(map(self._conn.__getitem__, indices))
+        trace._host = list(map(self._host.__getitem__, indices))
+        trace._note = list(map(self._note.__getitem__, indices))
+        trace._sorted = True
+        trace._views = None
+        trace._conn_index = None
+        trace._host_index = None
+        return trace
+
+    def _connection_index(self) -> Dict[int, List[int]]:
+        if self._conn_index is None:
+            self._ensure_sorted()
+            index: Dict[int, List[int]] = {}
+            for position, connection_id in enumerate(self._conn):
+                bucket = index.get(connection_id)
+                if bucket is None:
+                    index[connection_id] = [position]
+                else:
+                    bucket.append(position)
+            self._conn_index = index
+        return self._conn_index
+
+    def _hostname_index(self) -> Dict[str, List[int]]:
+        if self._host_index is None:
+            self._ensure_sorted()
+            index: Dict[str, List[int]] = {}
+            for position, hostname in enumerate(self._host):
+                bucket = index.get(hostname)
+                if bucket is None:
+                    index[hostname] = [position]
+                else:
+                    bucket.append(position)
+            self._host_index = index
+        return self._host_index
 
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
     def filter(self, predicate: Callable[[Packet], bool]) -> "PacketTrace":
         """Return a new trace containing the packets matching ``predicate``."""
-        return PacketTrace(packet for packet in self.packets if predicate(packet))
+        self._ensure_sorted()
+        return self._select([index for index, packet in enumerate(self.packets) if predicate(packet)])
 
     def between(self, start: float, end: float) -> "PacketTrace":
         """Packets with ``start <= timestamp <= end``."""
-        return self.filter(lambda packet: start <= packet.timestamp <= end)
+        self._ensure_sorted()
+        return self._slice(bisect_left(self._ts, start), bisect_right(self._ts, end))
 
     def after(self, timestamp: float) -> "PacketTrace":
         """Packets captured at or after ``timestamp``."""
-        return self.filter(lambda packet: packet.timestamp >= timestamp)
+        self._ensure_sorted()
+        return self._slice(bisect_left(self._ts, timestamp), len(self._ts))
 
     def to_hosts(self, hostnames: Iterable[str]) -> "PacketTrace":
         """Packets exchanged with any of the given server DNS names."""
+        index = self._hostname_index()
         wanted = set(hostnames)
-        return self.filter(lambda packet: packet.hostname in wanted)
+        buckets = [index[hostname] for hostname in wanted if hostname in index]
+        if not buckets:
+            return self._slice(0, 0)
+        if len(buckets) == 1:
+            return self._select(buckets[0])
+        merged: List[int] = []
+        for bucket in buckets:
+            merged.extend(bucket)
+        merged.sort()
+        return self._select(merged)
 
     def for_connection(self, connection_id: int) -> "PacketTrace":
         """Packets belonging to one simulated connection."""
-        return self.filter(lambda packet: packet.connection_id == connection_id)
+        positions = self._connection_index().get(connection_id)
+        if positions is None:
+            return self._slice(0, 0)
+        return self._select(positions)
 
     def payload_packets(self) -> "PacketTrace":
         """Packets carrying application payload."""
-        return self.filter(lambda packet: packet.has_payload)
+        self._ensure_sorted()
+        return self._select([index for index, payload in enumerate(self._payload) if payload > 0])
 
     def outgoing(self) -> "PacketTrace":
         """Packets leaving the test computer."""
-        return self.filter(lambda packet: packet.direction is PacketDirection.OUT)
+        self._ensure_sorted()
+        out = PacketDirection.OUT
+        return self._select([index for index, direction in enumerate(self._dir) if direction is out])
 
     def incoming(self) -> "PacketTrace":
         """Packets entering the test computer."""
-        return self.filter(lambda packet: packet.direction is PacketDirection.IN)
+        self._ensure_sorted()
+        out = PacketDirection.OUT
+        return self._select([index for index, direction in enumerate(self._dir) if direction is not out])
 
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #
     def total_bytes(self) -> int:
         """Total bytes on the wire (headers + payload), both directions."""
-        return sum(packet.wire_len for packet in self._packets)
+        return sum(self._headers) + sum(self._payload)
 
     def payload_bytes(self) -> int:
         """Total application payload bytes, both directions."""
-        return sum(packet.payload_len for packet in self._packets)
+        return sum(self._payload)
 
     def uploaded_payload_bytes(self) -> int:
         """Application payload bytes leaving the test computer."""
-        return sum(packet.payload_len for packet in self._packets if packet.direction is PacketDirection.OUT)
+        out = PacketDirection.OUT
+        return sum(payload for payload, direction in zip(self._payload, self._dir) if direction is out)
 
     def downloaded_payload_bytes(self) -> int:
         """Application payload bytes entering the test computer."""
-        return sum(packet.payload_len for packet in self._packets if packet.direction is PacketDirection.IN)
+        out = PacketDirection.OUT
+        return sum(payload for payload, direction in zip(self._payload, self._dir) if direction is not out)
 
     def first_timestamp(self) -> Optional[float]:
         """Timestamp of the first packet, or ``None`` for an empty trace."""
-        if not self._packets:
+        if not self._ts:
             return None
-        return self.packets[0].timestamp
+        return self._ts[0] if self._sorted else min(self._ts)
 
     def last_timestamp(self) -> Optional[float]:
         """Timestamp of the last packet, or ``None`` for an empty trace."""
-        if not self._packets:
+        if not self._ts:
             return None
-        return self.packets[-1].timestamp
+        return self._ts[-1] if self._sorted else max(self._ts)
 
     def duration(self) -> float:
         """Elapsed time between the first and last packet (0 for empty traces)."""
-        if not self._packets:
+        if not self._ts:
             return 0.0
-        return self.packets[-1].timestamp - self.packets[0].timestamp
+        last = self.last_timestamp()
+        first = self.first_timestamp()
+        assert last is not None and first is not None
+        return last - first
 
     def hostnames(self) -> List[str]:
         """Sorted list of distinct server DNS names appearing in the trace."""
-        return sorted({packet.hostname for packet in self._packets if packet.hostname})
+        return sorted({hostname for hostname in self._host if hostname})
 
     def connection_ids(self) -> List[int]:
         """Sorted list of distinct connection identifiers in the trace."""
-        return sorted({packet.connection_id for packet in self._packets})
+        return sorted(set(self._conn))

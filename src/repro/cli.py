@@ -10,6 +10,7 @@ Sub-commands map one-to-one to the paper's artifacts::
     cloudbench compression                  # Fig. 5
     cloudbench performance --repetitions 5  # Fig. 6
     cloudbench all                          # everything above
+    cloudbench bench --compare BENCH.json   # perf metrics of the engine itself
 
 Results are printed as ASCII tables; ``--csv PATH`` additionally writes the
 raw rows to a CSV file.  For ``all``, every completed stage is written to
@@ -98,6 +99,14 @@ from repro.core.workloads import PAPER_WORKLOADS
 from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse_shard_spec
 from repro.errors import ConfigurationError, DistributionError
 from repro.netsim.scenario import ScenarioSpec, get_scenario, register_scenarios_from_file, registered_scenarios
+from repro.perf import (
+    build_document,
+    capture_environment,
+    compare_documents,
+    load_document,
+    run_benchmarks,
+    write_document,
+)
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES, register_services_from_file
 from repro.units import minutes, parse_duration, parse_seeds
@@ -294,6 +303,47 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         default=None,
         help="write the deterministic results document (byte-identical to `cloudbench all --json`)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="benchmark the benchmark: deterministic perf metrics of the simulation engine",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: same micro workloads, shrunken campaign macro-benchmark",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per micro-benchmark; the best rate is reported (default: 3)",
+    )
+    bench.add_argument(
+        "--skip-campaign",
+        dest="skip_campaign",
+        action="store_true",
+        help="skip the end-to-end campaign macro-benchmark (micro metrics only)",
+    )
+    bench.add_argument(
+        "--json",
+        dest="bench_json",
+        default=None,
+        help="write the canonical benchmark document (the BENCH_netsim.json format) to this file",
+    )
+    bench.add_argument(
+        "--compare",
+        dest="bench_compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline document; exit nonzero on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=25.0,
+        help="allowed percentage slack per metric before --compare flags a regression (default: 25)",
     )
 
     lint = subparsers.add_parser(
@@ -574,6 +624,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ]
         )
         _emit(result.rows(), text, args.csv)
+    elif args.command == "bench":
+        results = run_benchmarks(
+            quick=args.quick,
+            repeats=args.repeats,
+            services=services,
+            seed=args.seed,
+            scenario=scenario,
+            include_campaign=not args.skip_campaign,
+        )
+        document = build_document(results, environment=capture_environment())
+        metric_rows = [
+            {
+                "metric": result.name,
+                "value": f"{result.value:,.3f}",
+                "unit": result.unit,
+                "direction": "higher" if result.higher_is_better else "lower",
+                "repeats": len(result.samples),
+            }
+            for result in sorted(results, key=lambda item: item.name)
+        ]
+        mode = "quick" if args.quick else "full"
+        print(render_table(metric_rows, title=f"Engine benchmarks ({mode} suite)"))
+        if args.bench_json:
+            write_document(args.bench_json, document)
+            print(f"Benchmark JSON written to {args.bench_json}")
+        if args.bench_compare:
+            try:
+                baseline = load_document(args.bench_compare)
+                report = compare_documents(document, baseline, tolerance_pct=args.tolerance)
+            except ConfigurationError as error:
+                parser.error(str(error))
+            print()
+            print(render_table(report.rows(), title=f"Baseline {args.bench_compare} (tolerance {args.tolerance:g}%)"))
+            if not report.ok:
+                names = ", ".join(delta.name for delta in report.regressions)
+                print(f"PERFORMANCE REGRESSION: {names}", file=sys.stderr)
+                return 1
+            print("no regressions against the baseline")
     elif args.command == "all":
         jobs = args.jobs if args.jobs is not None else default_jobs()
         seeds = _campaign_seeds(parser, args)

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import List, Sequence
 
-__all__ = ["PacketDirection", "TCPFlags", "Packet", "MSS", "TCP_IP_HEADER_BYTES"]
+__all__ = ["PacketDirection", "TCPFlags", "Packet", "PacketBatch", "MSS", "TCP_IP_HEADER_BYTES"]
 
 #: Maximum segment size used by the simulated TCP stacks (Ethernet MTU 1500
 #: minus 40 bytes of TCP/IP headers).
@@ -93,3 +94,91 @@ class Packet:
     def has_payload(self) -> bool:
         """True if the packet carries application payload."""
         return self.payload_len > 0
+
+
+class PacketBatch:
+    """A struct-of-arrays batch of packets sharing one connection's constants.
+
+    A data transfer emits up to 2048 records that differ only in timestamp,
+    payload and header bytes; every other field (addresses, ports, direction,
+    flags, connection id, hostname, note) is invariant across the burst.  A
+    batch carries the three varying columns plus the shared scalars, so the
+    emission hot path never constructs per-record :class:`Packet` objects —
+    column-aware sniffers append the columns directly, and only legacy
+    per-packet callbacks pay for materialization via :meth:`packets`.
+    """
+
+    __slots__ = (
+        "timestamps",
+        "payload_lens",
+        "headers_lens",
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "direction",
+        "flags",
+        "protocol",
+        "connection_id",
+        "hostname",
+        "note",
+    )
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        payload_lens: Sequence[int],
+        headers_lens: Sequence[int],
+        *,
+        src: str,
+        dst: str,
+        src_port: int,
+        dst_port: int,
+        direction: PacketDirection,
+        flags: TCPFlags = TCPFlags.NONE,
+        protocol: str = "TCP",
+        connection_id: int = 0,
+        hostname: str = "",
+        note: str = "",
+    ) -> None:
+        if not (len(timestamps) == len(payload_lens) == len(headers_lens)):
+            raise ValueError("PacketBatch columns must have equal length")
+        self.timestamps = timestamps
+        self.payload_lens = payload_lens
+        self.headers_lens = headers_lens
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.direction = direction
+        self.flags = flags
+        self.protocol = protocol
+        self.connection_id = connection_id
+        self.hostname = hostname
+        self.note = note
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def packets(self) -> List[Packet]:
+        """Materialize the batch as :class:`Packet` records (slow fallback)."""
+        return [
+            Packet(
+                timestamp=timestamp,
+                src=self.src,
+                dst=self.dst,
+                src_port=self.src_port,
+                dst_port=self.dst_port,
+                direction=self.direction,
+                flags=self.flags,
+                payload_len=payload_len,
+                headers_len=headers_len,
+                protocol=self.protocol,
+                connection_id=self.connection_id,
+                hostname=self.hostname,
+                note=self.note,
+            )
+            for timestamp, payload_len, headers_len in zip(
+                self.timestamps, self.payload_lens, self.headers_lens
+            )
+        ]

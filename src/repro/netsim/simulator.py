@@ -9,7 +9,7 @@ from repro.netsim.clock import SimClock
 from repro.netsim.endpoint import CLIENT_ENDPOINT, Endpoint
 from repro.netsim.events import EventQueue, ScheduledEvent
 from repro.netsim.link import NetworkPath
-from repro.netsim.packet import Packet
+from repro.netsim.packet import Packet, PacketBatch
 from repro.netsim.tcp import TCPConnection
 from repro.netsim.tls import TLSParameters
 
@@ -148,3 +148,22 @@ class NetworkSimulator:
         """Deliver ``packet`` to every registered sniffer."""
         for sniffer in self._sniffers:
             sniffer(packet)
+
+    def emit_batch(self, batch: PacketBatch) -> None:
+        """Deliver a column-oriented emission burst to every sniffer.
+
+        Column-aware sniffers (anything exposing ``accept_batch``, like
+        :class:`~repro.capture.sniffer.Sniffer`) receive the batch whole;
+        plain per-packet callables get the burst materialized once and
+        replayed packet by packet, preserving the old observable order.
+        """
+        materialized = None
+        for sniffer in self._sniffers:
+            accept = getattr(sniffer, "accept_batch", None)
+            if accept is not None:
+                accept(batch)
+            else:
+                if materialized is None:
+                    materialized = batch.packets()
+                for packet in materialized:
+                    sniffer(packet)

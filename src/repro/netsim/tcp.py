@@ -21,15 +21,15 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConnectionStateError
 from repro.netsim.endpoint import Endpoint
 from repro.netsim.link import NetworkPath
-from repro.netsim.packet import MSS, TCP_IP_HEADER_BYTES, Packet, PacketDirection, TCPFlags
+from repro.netsim.packet import MSS, TCP_IP_HEADER_BYTES, Packet, PacketBatch, PacketDirection, TCPFlags
 from repro.netsim.tls import TLSParameters
 
-__all__ = ["TCPState", "TransferStats", "TCPConnection", "INITIAL_CWND_BYTES"]
+__all__ = ["TCPState", "TransferStats", "TCPConnection", "INITIAL_CWND_BYTES", "slow_start_penalty"]
 
 #: Initial congestion window (10 segments, per RFC 6928).
 INITIAL_CWND_BYTES = 10 * MSS
@@ -38,6 +38,60 @@ INITIAL_CWND_BYTES = 10 * MSS
 #: transfers coalesce several segments into one record while keeping byte
 #: accounting exact.
 MAX_DATA_RECORDS_PER_TRANSFER = 2048
+
+#: Flags carried by every data-packet record.
+_DATA_FLAGS = TCPFlags.ACK | TCPFlags.PSH
+
+#: Memoized transfer durations keyed on the full set of inputs the math
+#: depends on.  Campaign workloads repeat the same transfer sizes over the
+#: same paths thousands of times; the duration is a pure function of the
+#: key, so the memo is shared process-wide and never affects determinism.
+_DURATION_MEMO: Dict[Tuple[int, bool, float, float], float] = {}
+_DURATION_MEMO_MAX = 4096
+
+
+def slow_start_penalty(nbytes: int, rate: float, rtt: float) -> float:
+    """Slow-start latency penalty for ``nbytes`` at ``rate`` over ``rtt``.
+
+    While the congestion window is below the bandwidth-delay product the
+    sender idles part of each round trip waiting for ACKs before it can
+    grow the window; the final round pays no such penalty.  Every
+    penalised round sends a full window ``INITIAL_CWND_BYTES * 2**i``, so
+    instead of simulating the transfer byte by byte the number of
+    penalised rounds ``k`` is computed in closed form:
+
+    * size bound — round ``i`` completes the transfer once the cumulative
+      geometric series ``C0 * (2**(i+1) - 1)`` reaches ``nbytes``;
+    * BDP bound — no round pays once its window covers the
+      bandwidth-delay product ``rate * rtt / 8``.
+
+    The per-round terms are then accumulated in the same float-operation
+    order as the byte-tracking loop this replaces, so results are
+    bit-identical to the seed engine (the golden documents pin bytes).
+    """
+    if rtt <= 0 or nbytes <= 0:
+        return 0.0
+    # Size bound: smallest e with C0 * (2**e - 1) >= nbytes, k = e - 1.
+    windows = -(-(nbytes + INITIAL_CWND_BYTES) // INITIAL_CWND_BYTES)
+    rounds = max(0, (windows - 1).bit_length() - 1)
+    # BDP bound: smallest i with C0 * 2**i >= bdp.  ldexp keeps the
+    # comparison in exact floats, mirroring the doubling of the old loop.
+    bdp = rate * rtt / 8.0
+    if INITIAL_CWND_BYTES < bdp:
+        guess = max(1, int(math.log2(bdp / INITIAL_CWND_BYTES)))
+        while math.ldexp(INITIAL_CWND_BYTES, guess) < bdp:
+            guess += 1
+        while guess > 0 and math.ldexp(INITIAL_CWND_BYTES, guess - 1) >= bdp:
+            guess -= 1
+        rounds = min(rounds, guess)
+    else:
+        rounds = 0
+    penalty = 0.0
+    cwnd = float(INITIAL_CWND_BYTES)
+    for _ in range(rounds):
+        penalty += rtt - cwnd * 8.0 / rate
+        cwnd *= 2.0
+    return penalty
 
 
 class TCPState(str, enum.Enum):
@@ -83,6 +137,11 @@ class TCPConnection:
         self.connection_id = connection_id
         self.local_port = local_port
         self.tls = tls
+        # The 4-tuples are invariant for the life of the connection; hoisting
+        # them out of the per-record emission loops keeps the hot path free
+        # of repeated attribute chains.
+        self._addr_out = (local.ip, remote.ip, local_port, remote.port)
+        self._addr_in = (remote.ip, local.ip, remote.port, local_port)
         self.state = TCPState.CLOSED
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -215,37 +274,30 @@ class TCPConnection:
         The duration is serialization time at the bottleneck plus the
         slow-start penalty: while the congestion window is below the
         bandwidth-delay product each round trip delivers only one window.
+        The result is a pure function of ``(wire_payload, upstream, rtt,
+        rate)`` and is memoized on that key — workloads repeat the same
+        transfer shapes over the same paths throughout a campaign.
         """
         if wire_payload <= 0:
             return 0.0
-        rate = self.path.rate(upstream)
-        serialization = wire_payload * 8.0 / rate
-        return serialization + self._slow_start_penalty(wire_payload, rate)
+        path = self.path
+        rate = path.rate(upstream)
+        key = (wire_payload, upstream, path.rtt, rate)
+        duration = _DURATION_MEMO.get(key)
+        if duration is None:
+            duration = wire_payload * 8.0 / rate + self._slow_start_penalty(wire_payload, rate)
+            if len(_DURATION_MEMO) >= _DURATION_MEMO_MAX:
+                _DURATION_MEMO.clear()
+            _DURATION_MEMO[key] = duration
+        return duration
 
     def _slow_start_penalty(self, nbytes: int, rate: float) -> float:
         """Extra latency caused by slow-start ramp-up for ``nbytes`` at ``rate``.
 
-        While the congestion window is below the bandwidth-delay product the
-        sender idles part of each round trip waiting for ACKs before it can
-        grow the window.  The final round pays no such penalty: once its last
-        byte is on the wire the transfer is, from the capture's point of
-        view, complete.
+        Delegates to the closed-form :func:`slow_start_penalty` over this
+        connection's path RTT.
         """
-        rtt = self.path.rtt
-        if rtt <= 0 or nbytes <= 0:
-            return 0.0
-        bdp = rate * rtt / 8.0
-        cwnd = float(INITIAL_CWND_BYTES)
-        delivered = 0.0
-        penalty = 0.0
-        while True:
-            burst = min(cwnd, nbytes - delivered)
-            delivered += burst
-            if delivered >= nbytes or cwnd >= bdp:
-                break
-            penalty += max(0.0, rtt - burst * 8.0 / rate)
-            cwnd *= 2.0
-        return penalty
+        return slow_start_penalty(nbytes, rate, self.path.rtt)
 
     # ------------------------------------------------------------------ #
     # Packet emission helpers
@@ -270,7 +322,13 @@ class TCPConnection:
         )
 
     def _emit_data(self, start: float, end: float, nbytes: int, direction: PacketDirection, *, note: str) -> None:
-        """Emit payload packets for ``nbytes`` spread between ``start`` and ``end``."""
+        """Emit payload packets for ``nbytes`` spread between ``start`` and ``end``.
+
+        The whole burst is built as one column-oriented
+        :class:`~repro.netsim.packet.PacketBatch` — per-record work is three
+        list appends; the invariant addresses, flags and labels ride once on
+        the batch instead of once per record.
+        """
         if nbytes <= 0:
             return
         segments = math.ceil(nbytes / MSS)
@@ -278,31 +336,38 @@ class TCPConnection:
         segs_per_record = segments / records
         span = max(end - start, 0.0)
         remaining = nbytes
+        timestamps = []
+        payloads = []
+        headers = []
+        boundary = 0
         for index in range(records):
-            seg_count = int(round((index + 1) * segs_per_record)) - int(round(index * segs_per_record))
-            seg_count = max(seg_count, 1)
+            next_boundary = int(round((index + 1) * segs_per_record))
+            seg_count = max(next_boundary - boundary, 1)
+            boundary = next_boundary
             payload = min(remaining, seg_count * MSS)
             if payload <= 0:
                 break
             remaining -= payload
-            timestamp = start + span * (index + 1) / records
-            src, dst, sport, dport = self._addresses(direction)
-            self._sim.emit(
-                Packet(
-                    timestamp=timestamp,
-                    src=src,
-                    dst=dst,
-                    src_port=sport,
-                    dst_port=dport,
-                    direction=direction,
-                    flags=TCPFlags.ACK | TCPFlags.PSH,
-                    payload_len=payload,
-                    headers_len=TCP_IP_HEADER_BYTES * seg_count,
-                    connection_id=self.connection_id,
-                    hostname=self.remote.hostname,
-                    note=note,
-                )
+            timestamps.append(start + span * (index + 1) / records)
+            payloads.append(payload)
+            headers.append(TCP_IP_HEADER_BYTES * seg_count)
+        src, dst, sport, dport = self._addresses(direction)
+        self._sim.emit_batch(
+            PacketBatch(
+                timestamps,
+                payloads,
+                headers,
+                src=src,
+                dst=dst,
+                src_port=sport,
+                dst_port=dport,
+                direction=direction,
+                flags=_DATA_FLAGS,
+                connection_id=self.connection_id,
+                hostname=self.remote.hostname,
+                note=note,
             )
+        )
 
     def _emit_acks(self, start: float, end: float, nbytes: int, data_direction: PacketDirection) -> None:
         """Emit an aggregated record for the pure ACKs flowing against the data."""
@@ -328,9 +393,7 @@ class TCPConnection:
         )
 
     def _addresses(self, direction: PacketDirection) -> tuple:
-        if direction is PacketDirection.OUT:
-            return self.local.ip, self.remote.ip, self.local_port, self.remote.port
-        return self.remote.ip, self.local.ip, self.remote.port, self.local_port
+        return self._addr_out if direction is PacketDirection.OUT else self._addr_in
 
     # ------------------------------------------------------------------ #
     # Internal plumbing

@@ -1,0 +1,306 @@
+"""Benchmark definitions: deterministic workloads over the engine's hot paths.
+
+Micro-benchmarks exercise exactly the paths the columnar rework targets —
+batched packet emission into the sniffer, trace query filters, memoized
+TCP transfer math, the event queue's schedule/cancel/poll pattern — and
+one macro-benchmark runs the default campaign grid end to end.
+
+Every workload is a pure function of its parameters (fixed endpoints,
+fixed sizes, fixed seed), so two runs measure the *same* computation and
+any rate difference is the machine or the code, never the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.netsim.endpoint import Endpoint
+from repro.netsim.link import NetworkPath
+from repro.netsim.packet import PacketDirection
+from repro.netsim.scenario import BASELINE, ScenarioSpec
+from repro.capture.sniffer import Sniffer
+from repro.perf.timer import measure_rate, measure_seconds
+from repro.randomness import DEFAULT_SEED
+from repro.services.registry import SERVICE_NAMES
+from repro.units import mbps, minutes
+
+__all__ = ["BenchmarkResult", "default_benchmarks", "quick_benchmarks", "run_benchmarks"]
+
+#: Fixed far end of every micro-benchmark connection.
+_SERVER = Endpoint(hostname="bench.storage.example.com", ip="192.0.2.10", port=443)
+#: Fixed path: 20 ms RTT, 50/100 Mbit/s — the paper's campus-like network.
+_PATH = NetworkPath(rtt=0.020, uplink_bps=mbps(50), downlink_bps=mbps(100))
+#: Data records per ``_emit_data`` call in the sniffer benchmark (one
+#: emission burst; the batched path turns it into a single column extend).
+_RECORDS_PER_BURST = 1000
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One measured metric, ready for the benchmark document."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    #: Workload parameters; comparison only matches metrics whose params
+    #: are identical, so a quick run never gates against a full baseline.
+    params: Dict[str, object]
+    #: Reported value (best across repeats).
+    value: float
+    #: Per-repeat values, in execution order.
+    samples: Tuple[float, ...]
+
+
+def _bench_connection():
+    """A fresh simulator + sniffer + established connection triple."""
+    from repro.netsim.simulator import NetworkSimulator
+
+    simulator = NetworkSimulator()
+    sniffer = Sniffer(simulator)
+    connection = simulator.open_connection(_SERVER, _PATH)
+    return simulator, sniffer, connection
+
+
+def bench_sniffer(packets: int, repeats: int) -> BenchmarkResult:
+    """Packets/second through emission and capture (the batched fast path)."""
+    bursts = max(1, packets // _RECORDS_PER_BURST)
+    total = bursts * _RECORDS_PER_BURST
+
+    def make_workload():
+        _, _, connection = _bench_connection()
+
+        def workload() -> None:
+            emit = connection._emit_data
+            for _ in range(bursts):
+                emit(0.0, 1.0, _RECORDS_PER_BURST * 1460, PacketDirection.OUT, note="bench")
+
+        return workload
+
+    measured = measure_rate(make_workload, total, repeats)
+    return BenchmarkResult(
+        name="sniffer_packets_per_s",
+        unit="packets/s",
+        higher_is_better=True,
+        params={"packets": total, "records_per_burst": _RECORDS_PER_BURST},
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
+def bench_trace_queries(packets: int, rounds: int, repeats: int) -> BenchmarkResult:
+    """Filter queries/second against a captured trace (bisect + index maps)."""
+    bursts = max(1, packets // _RECORDS_PER_BURST)
+
+    def make_workload():
+        _, sniffer, connection = _bench_connection()
+        for index in range(bursts):
+            connection._emit_data(
+                float(index), float(index) + 0.5, _RECORDS_PER_BURST * 1460, PacketDirection.OUT, note="bench"
+            )
+        trace = sniffer.trace
+
+        def workload() -> None:
+            for _ in range(rounds):
+                trace.between(5.0, 25.0)
+                trace.after(10.0)
+                trace.for_connection(1)
+                trace.to_hosts([_SERVER.hostname])
+
+        return workload
+
+    measured = measure_rate(make_workload, 4 * rounds, repeats)
+    return BenchmarkResult(
+        name="trace_queries_per_s",
+        unit="queries/s",
+        higher_is_better=True,
+        params={"packets": bursts * _RECORDS_PER_BURST, "rounds": rounds, "queries_per_round": 4},
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
+def bench_transfers(transfers: int, repeats: int) -> BenchmarkResult:
+    """Uploads/second through ``TCPConnection.send`` (memoized transfer math)."""
+
+    def make_workload():
+        _, _, connection = _bench_connection()
+
+        def workload() -> None:
+            for _ in range(transfers):
+                connection.send(100_000, upstream=True)
+
+        return workload
+
+    measured = measure_rate(make_workload, transfers, repeats)
+    return BenchmarkResult(
+        name="tcp_transfers_per_s",
+        unit="transfers/s",
+        higher_is_better=True,
+        params={"transfers": transfers, "bytes_per_transfer": 100_000},
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
+def bench_events(events: int, repeats: int) -> BenchmarkResult:
+    """Events/second through schedule, 80% cancel, length polls and a drain.
+
+    This is the polling-simulation pattern the O(1) live counter and heap
+    compaction exist for.
+    """
+
+    def make_workload():
+        from repro.netsim.simulator import NetworkSimulator
+
+        simulator = NetworkSimulator()
+
+        def workload() -> None:
+            scheduled = [
+                simulator.schedule_in(float(index % 977) + 1.0, _noop) for index in range(events)
+            ]
+            for index, event in enumerate(scheduled):
+                if index % 5 != 0:
+                    event.cancel()
+            for _ in range(100):
+                len(simulator.events)
+            simulator.run_for(2000.0)
+
+        return workload
+
+    measured = measure_rate(make_workload, events, repeats)
+    return BenchmarkResult(
+        name="event_queue_events_per_s",
+        unit="events/s",
+        higher_is_better=True,
+        params={"events": events, "cancelled_per_5": 4, "length_polls": 100},
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_campaign(
+    *,
+    services: Sequence[str],
+    repetitions: float,
+    idle_minutes: float,
+    resolvers: int,
+    seed: int,
+    scenario: ScenarioSpec,
+) -> List[BenchmarkResult]:
+    """Wall-clock and cells/second for one sequential campaign run.
+
+    The macro-benchmark runs the exact grid ``cloudbench all`` plans for
+    the given knobs, with ``jobs=1`` so the number measures the engine,
+    not the process pool.
+    """
+    runner = CampaignRunner(
+        list(services),
+        None,
+        seed=seed,
+        jobs=1,
+        config=CampaignConfig(
+            repetitions=int(repetitions),
+            idle_duration=minutes(idle_minutes),
+            resolver_count=resolvers,
+            scenario=scenario,
+        ),
+    )
+    holder: Dict[str, object] = {}
+
+    def workload() -> None:
+        holder["campaign"] = runner.run()
+
+    wall = measure_seconds(workload)
+    campaign = holder["campaign"]
+    cell_count = len(campaign.cells)
+    params: Dict[str, object] = {
+        "services": ",".join(services),
+        "repetitions": int(repetitions),
+        "idle_minutes": idle_minutes,
+        "resolvers": resolvers,
+        "seed": seed,
+        "scenario": scenario.name,
+        "jobs": 1,
+        "cells": cell_count,
+    }
+    return [
+        BenchmarkResult(
+            name="campaign_wall_s",
+            unit="s",
+            higher_is_better=False,
+            params=dict(params),
+            value=round(wall, 3),
+            samples=(round(wall, 3),),
+        ),
+        BenchmarkResult(
+            name="campaign_cells_per_s",
+            unit="cells/s",
+            higher_is_better=True,
+            params=dict(params),
+            value=round(cell_count / wall, 3),
+            samples=(round(cell_count / wall, 3),),
+        ),
+    ]
+
+
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    services: Optional[Sequence[str]] = None,
+    seed: int = DEFAULT_SEED,
+    scenario: Optional[ScenarioSpec] = None,
+    include_campaign: bool = True,
+) -> List[BenchmarkResult]:
+    """Run the benchmark suite and return its metrics in a fixed order.
+
+    The micro workloads are identical in both modes — they cost seconds,
+    and identical params are what lets a ``--quick`` CI run gate against
+    the committed full-suite baseline.  ``quick`` only shrinks the
+    expensive campaign macro-benchmark; its params then differ from the
+    baseline's, so comparison skips (rather than misjudges) it.
+    """
+    scenario = scenario if scenario is not None else BASELINE
+    services = list(services) if services is not None else list(SERVICE_NAMES)
+    results = [
+        bench_sniffer(200_000, repeats),
+        bench_trace_queries(50_000, 50, repeats),
+        bench_transfers(2_000, repeats),
+        bench_events(100_000, repeats),
+    ]
+    if quick:
+        # Two services and one repetition: the macro path end to end in a
+        # few seconds, not the full half-minute grid.
+        campaign_knobs = dict(repetitions=1, idle_minutes=4.0, resolvers=100)
+        campaign_services = services[:2]
+    else:
+        campaign_knobs = dict(repetitions=2, idle_minutes=16.0, resolvers=300)
+        campaign_services = services
+    if include_campaign:
+        results.extend(
+            bench_campaign(
+                services=campaign_services,
+                repetitions=campaign_knobs["repetitions"],
+                idle_minutes=campaign_knobs["idle_minutes"],
+                resolvers=campaign_knobs["resolvers"],
+                seed=seed,
+                scenario=scenario,
+            )
+        )
+    return results
+
+
+def default_benchmarks(**kwargs) -> List[BenchmarkResult]:
+    """The full suite (the one ``BENCH_netsim.json`` is generated from)."""
+    return run_benchmarks(quick=False, **kwargs)
+
+
+def quick_benchmarks(**kwargs) -> List[BenchmarkResult]:
+    """The CI-sized suite (``cloudbench bench --quick``)."""
+    return run_benchmarks(quick=True, **kwargs)

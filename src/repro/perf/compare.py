@@ -1,0 +1,162 @@
+"""Baseline comparison: the regression gate behind ``bench --compare``.
+
+Direction-aware and params-aware:
+
+* a metric is only compared when the baseline and current *params*
+  match — a ``--quick`` run never gates against a full baseline (its
+  workloads are smaller), but a quick baseline gates a quick run;
+* ``higher_is_better`` decides which direction is a regression, with a
+  symmetric percentage tolerance;
+* a comparable baseline metric that disappeared from the current run is
+  itself a regression — deleting a benchmark must not pass the gate;
+* metrics new in the current run are informational only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MetricDelta", "ComparisonReport", "compare_documents"]
+
+#: Comparison outcomes, in the order rows are reported per status group.
+_STATUSES = ("regression", "missing", "improved", "ok", "skipped", "new")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Comparison outcome for one metric name."""
+
+    name: str
+    status: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: Signed percent change vs. the baseline (None when not compared).
+    change_pct: Optional[float]
+    note: str = ""
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All per-metric outcomes of one baseline comparison."""
+
+    tolerance_pct: float
+    deltas: Tuple[MetricDelta, ...]
+
+    @property
+    def regressions(self) -> Tuple[MetricDelta, ...]:
+        return tuple(delta for delta in self.deltas if delta.is_regression)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def rows(self) -> List[dict]:
+        """Table rows, worst news first, alphabetical within a status."""
+        ordered = sorted(self.deltas, key=lambda delta: (_STATUSES.index(delta.status), delta.name))
+        return [
+            {
+                "metric": delta.name,
+                "status": delta.status,
+                "baseline": "-" if delta.baseline is None else f"{delta.baseline:,.3f}",
+                "current": "-" if delta.current is None else f"{delta.current:,.3f}",
+                "change": "-" if delta.change_pct is None else f"{delta.change_pct:+.1f}%",
+                "note": delta.note,
+            }
+            for delta in ordered
+        ]
+
+
+def _metric_map(document: Dict[str, object], label: str) -> Dict[str, dict]:
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ConfigurationError(f"{label} benchmark document has no metrics block")
+    return metrics
+
+
+def compare_documents(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    tolerance_pct: float,
+) -> ComparisonReport:
+    """Compare a current benchmark document against a baseline."""
+    if tolerance_pct < 0:
+        raise ConfigurationError("comparison tolerance must be non-negative")
+    current_metrics = _metric_map(current, "current")
+    baseline_metrics = _metric_map(baseline, "baseline")
+    deltas: List[MetricDelta] = []
+    for name in sorted(baseline_metrics):
+        base = baseline_metrics[name]
+        base_value = float(base["value"])
+        entry = current_metrics.get(name)
+        if entry is None:
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    status="missing",
+                    baseline=base_value,
+                    current=None,
+                    change_pct=None,
+                    note="baseline metric absent from the current run",
+                )
+            )
+            continue
+        if entry.get("params") != base.get("params"):
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    status="skipped",
+                    baseline=base_value,
+                    current=float(entry["value"]),
+                    change_pct=None,
+                    note="workload params differ; not comparable",
+                )
+            )
+            continue
+        current_value = float(entry["value"])
+        if base_value == 0:
+            change_pct = 0.0 if current_value == 0 else 100.0
+        else:
+            change_pct = (current_value - base_value) / abs(base_value) * 100.0
+        higher_is_better = bool(base.get("higher_is_better", True))
+        # The signed loss: positive when the metric moved the wrong way.
+        loss_pct = -change_pct if higher_is_better else change_pct
+        if loss_pct > tolerance_pct:
+            status = "regression"
+            note = f"worse than baseline beyond {tolerance_pct:g}% tolerance"
+        elif loss_pct < -tolerance_pct:
+            status = "improved"
+            note = ""
+        else:
+            status = "ok"
+            note = ""
+        deltas.append(
+            MetricDelta(
+                name=name,
+                status=status,
+                baseline=base_value,
+                current=current_value,
+                change_pct=round(change_pct, 3),
+                note=note,
+            )
+        )
+    for name in sorted(current_metrics):
+        if name not in baseline_metrics:
+            deltas.append(
+                MetricDelta(
+                    name=name,
+                    status="new",
+                    baseline=None,
+                    current=float(current_metrics[name]["value"]),
+                    change_pct=None,
+                    note="not in the baseline",
+                )
+            )
+    return ComparisonReport(tolerance_pct=tolerance_pct, deltas=tuple(deltas))

@@ -1,0 +1,35 @@
+"""Execution-environment capture for benchmark documents.
+
+This module is the perf harness's sanctioned home for the wall clock
+(DET003 allowlist): benchmark *numbers* are measurement, not simulation,
+so the run timestamp belongs in the document's environment block — which
+:func:`repro.perf.document.strip_measurements` removes before any
+byte-level determinism comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from typing import Dict
+
+__all__ = ["capture_environment"]
+
+
+def capture_environment() -> Dict[str, object]:
+    """Describe the machine and interpreter a benchmark run executed on.
+
+    Everything here is run-specific context for a human reading the
+    document; none of it participates in regression comparison.
+    """
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "executable": os.path.basename(sys.executable),
+    }

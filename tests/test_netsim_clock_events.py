@@ -75,3 +75,64 @@ class TestEventQueue:
         queue.schedule(1.0, lambda: None)
         queue.clear()
         assert len(queue) == 0
+
+
+class TestEventQueueLiveCount:
+    """The O(1) live counter and tombstone compaction."""
+
+    def test_len_tracks_schedule_cancel_and_pop(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+        assert queue.pop_due(1.0) is not None
+        assert len(queue) == 7
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i % 97) + 1.0, lambda: None) for i in range(1000)]
+        for index, event in enumerate(events):
+            if index % 10 != 0:
+                event.cancel()
+        assert len(queue) == 100
+        # The tombstones are gone, not merely marked: the heap holds only
+        # (close to) the live events instead of all 1000 entries.
+        assert len(queue._heap) <= 2 * len(queue) + 1
+
+    def test_compaction_preserves_pop_order(self):
+        reference = EventQueue()
+        compacted = EventQueue()
+        for queue in (reference, compacted):
+            events = [queue.schedule(float(i % 13) + 1.0, lambda: None, label=str(i)) for i in range(300)]
+            for index, event in enumerate(events):
+                if index % 4 != 0:
+                    event.cancel()
+
+        def drain(queue):
+            labels = []
+            while (event := queue.pop_due(1e9)) is not None:
+                labels.append(event.label)
+            return labels
+
+        # Force extra compactions on one queue mid-drain; order must not move.
+        compacted._compact()
+        assert drain(reference) == drain(compacted)
+
+    def test_popped_event_cancel_does_not_underflow_len(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        popped = queue.pop_due(1.0)
+        assert popped is event
+        popped.cancel()  # cancelling after the pop must not double-decrement
+        assert len(queue) == 1

@@ -140,3 +140,114 @@ class TestNetworkProperties:
         assert trace.uploaded_payload_bytes() + trace.downloaded_payload_bytes() == trace.payload_bytes()
         series = analysis.cumulative_bytes_series(trace, interval=5.0)
         assert series[-1][1] == trace.total_bytes()
+
+
+def _reference_slow_start_penalty(nbytes: int, rate: float, rtt: float) -> float:
+    """The seed engine's byte-tracking loop, kept verbatim as the oracle.
+
+    The closed-form :func:`repro.netsim.tcp.slow_start_penalty` must match
+    this loop *bit for bit* (not approximately): the golden campaign
+    documents pin output bytes, so even one ulp of drift would break the
+    byte-identity contract.
+    """
+    from repro.netsim.tcp import INITIAL_CWND_BYTES
+
+    if rtt <= 0 or nbytes <= 0:
+        return 0.0
+    bdp = rate * rtt / 8.0
+    cwnd = float(INITIAL_CWND_BYTES)
+    delivered = 0.0
+    penalty = 0.0
+    while True:
+        burst = min(cwnd, nbytes - delivered)
+        delivered += burst
+        if delivered >= nbytes or cwnd >= bdp:
+            break
+        penalty += max(0.0, rtt - burst * 8.0 / rate)
+        cwnd *= 2.0
+    return penalty
+
+
+class TestSlowStartClosedForm:
+    @given(
+        nbytes=st.integers(min_value=1, max_value=50_000_000),
+        rtt=st.floats(min_value=0.0001, max_value=2.0),
+        rate=st.floats(min_value=0.05, max_value=1000.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_iterative_reference_exactly(self, nbytes, rtt, rate):
+        from repro.netsim.tcp import slow_start_penalty
+
+        rate_bps = mbps(rate)
+        assert slow_start_penalty(nbytes, rate_bps, rtt) == _reference_slow_start_penalty(nbytes, rate_bps, rtt)
+
+    def test_matches_reference_across_parameter_grid(self):
+        from repro.netsim.tcp import INITIAL_CWND_BYTES, slow_start_penalty
+
+        sizes = [1, 100, INITIAL_CWND_BYTES - 1, INITIAL_CWND_BYTES, INITIAL_CWND_BYTES + 1,
+                 10_000, 100_000, 1_000_000, 25_000_000]
+        rtts = [0.0, 0.001, 0.02, 0.1, 0.5]
+        rates = [mbps(0.1), mbps(1), mbps(8), mbps(50), mbps(100), mbps(1000)]
+        for nbytes in sizes:
+            for rtt in rtts:
+                for rate in rates:
+                    assert slow_start_penalty(nbytes, rate, rtt) == _reference_slow_start_penalty(nbytes, rate, rtt), (
+                        nbytes, rtt, rate,
+                    )
+
+    def test_zero_and_negative_inputs(self):
+        from repro.netsim.tcp import slow_start_penalty
+
+        assert slow_start_penalty(0, mbps(10), 0.02) == 0.0
+        assert slow_start_penalty(-5, mbps(10), 0.02) == 0.0
+        assert slow_start_penalty(10_000, mbps(10), 0.0) == 0.0
+
+
+class TestBatchedEmissionEquivalence:
+    """The batched sniffer path and per-packet replay must capture identically."""
+
+    @staticmethod
+    def _run_workload(batched: bool, transfers):
+        from repro.capture.sniffer import Sniffer
+        from repro.netsim.endpoint import Endpoint
+        from repro.netsim.simulator import NetworkSimulator
+
+        path = NetworkPath(rtt=0.02, uplink_bps=mbps(50), downlink_bps=mbps(100))
+        simulator = NetworkSimulator()
+        if batched:
+            sniffer = Sniffer(simulator)
+            trace = sniffer.trace
+        else:
+            # A bare callable has no accept_batch: the simulator materializes
+            # each burst and replays it packet by packet (the legacy path).
+            trace = PacketTrace()
+            simulator.add_sniffer(trace.append)
+        connection = simulator.open_connection(Endpoint("h.example", "192.0.2.5", 443), path)
+        for nbytes, upstream in transfers:
+            connection.send(nbytes, upstream=upstream)
+        connection.close()
+        return trace
+
+    @given(
+        transfers=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=2_000_000), st.booleans()),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_traces_are_field_identical(self, transfers):
+        batched = self._run_workload(True, transfers)
+        replayed = self._run_workload(False, transfers)
+        assert len(batched) == len(replayed)
+        assert list(batched.packets) == list(replayed.packets)
+
+    def test_aggregates_agree_without_materialization(self):
+        transfers = [(350_000, True), (1_200, False), (80_000, True)]
+        batched = self._run_workload(True, transfers)
+        replayed = self._run_workload(False, transfers)
+        assert batched.total_bytes() == replayed.total_bytes()
+        assert batched.payload_bytes() == replayed.payload_bytes()
+        assert batched.uploaded_payload_bytes() == replayed.uploaded_payload_bytes()
+        assert analysis.count_tcp_syns(batched) == analysis.count_tcp_syns(replayed)
+        assert analysis.burst_payload_sizes(batched) == analysis.burst_payload_sizes(replayed)
