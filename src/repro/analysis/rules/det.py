@@ -18,11 +18,13 @@ corrupt a store:
   randomness flows through explicitly seeded ``random.Random`` instances
   from :func:`repro.randomness.make_rng`.
 * **DET003** — wall clocks (``time.time()``, ``datetime.now()``/
-  ``utcnow()``/``today()``) outside the three allowlisted homes: the
+  ``utcnow()``/``today()``) outside the four allowlisted homes: the
   work-stealing lease board (:mod:`repro.dist.claims`, heartbeat ages),
-  the store's TTL GC (:mod:`repro.core.store`) and the benchmark
+  the store's TTL GC (:mod:`repro.core.store`), the benchmark
   harness's environment block (:mod:`repro.perf.environment`, the run
-  timestamp of a ``BENCH`` document).  Monotonic timing
+  timestamp of a ``BENCH`` document) and the tracer's wall-domain
+  context stamp (:mod:`repro.obs.wallclock` — the *stripped* half of a
+  flight record).  Monotonic timing
   (``time.perf_counter``/``time.monotonic``) is fine — it feeds the
   run-specific timings record, never the deterministic documents.
 * **DET004** — ``json.dumps``/``json.dump`` without an explicit
@@ -124,7 +126,12 @@ class GlobalRandomRule(Rule):
 class WallClockRule(Rule):
     rule_id = "DET003"
     title = "wall clock in a deterministic path"
-    allowlist = ("repro/dist/claims.py", "repro/core/store.py", "repro/perf/environment.py")
+    allowlist = (
+        "repro/dist/claims.py",
+        "repro/core/store.py",
+        "repro/perf/environment.py",
+        "repro/obs/wallclock.py",
+    )
 
     def _is_wall_clock(self, func: ast.AST) -> bool:
         pair = _attribute_pair(func)

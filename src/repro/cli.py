@@ -99,6 +99,7 @@ from repro.core.workloads import PAPER_WORKLOADS
 from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse_shard_spec
 from repro.errors import ConfigurationError, DistributionError
 from repro.netsim.scenario import ScenarioSpec, get_scenario, register_scenarios_from_file, registered_scenarios
+from repro.obs.logconfig import configure_logging
 from repro.perf import (
     build_document,
     capture_environment,
@@ -153,6 +154,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="register every scenario defined in this TOML/JSON spec file ([[scenario]] tables)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log INFO messages to stderr (repeat for DEBUG); default shows warnings only",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="silence warnings (errors still print)",
+    )
     parser.add_argument("--csv", default=None, help="also write the result rows to this CSV file")
     parser.add_argument(
         "--seed",
@@ -198,6 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "seed sweep: run the campaign grid once per seed and aggregate across "
                 "seeds; accepts comma lists and inclusive ranges, e.g. '7,8,10..12' "
                 "(default: the single --seed)"
+            ),
+        )
+        sub.add_argument(
+            "--trace",
+            dest="trace_path",
+            metavar="FILE",
+            default=None,
+            help=(
+                "record a flight recorder per cell and write the campaign trace "
+                "document to FILE; inspect/convert it with `cloudbench trace`"
             ),
         )
 
@@ -381,6 +406,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every rule id and title, then exit",
     )
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect flight recorder traces, or export them for Perfetto",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_ls = trace_sub.add_parser("ls", help="list the flight-record sidecars of a result store")
+    trace_ls.add_argument("--store", default=DEFAULT_CACHE_DIR, help=f"store directory (default: {DEFAULT_CACHE_DIR})")
+    trace_show = trace_sub.add_parser("show", help="summarize a trace file, sidecar, or a whole store")
+    trace_show.add_argument(
+        "target",
+        help="a campaign trace file (--trace output), one .trace.json sidecar, or a store directory",
+    )
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome trace-event JSON (Perfetto / chrome://tracing) or canonical JSON",
+    )
+    trace_export.add_argument(
+        "--input",
+        dest="trace_input",
+        metavar="FILE",
+        default=None,
+        help="trace or flight-record JSON file to convert",
+    )
+    trace_export.add_argument(
+        "--store",
+        dest="trace_store",
+        metavar="DIR",
+        default=None,
+        help="assemble the trace from a store's flight-record sidecars instead of a file",
+    )
+    trace_export.add_argument(
+        "--output",
+        dest="trace_output",
+        metavar="FILE",
+        default=None,
+        help="write here instead of stdout",
+    )
+    trace_export.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=("chrome", "json"),
+        default="chrome",
+        help="chrome: trace-event form for Perfetto; json: canonical trace document (default: chrome)",
+    )
+    trace_export.add_argument(
+        "--sim-only",
+        dest="trace_sim_only",
+        action="store_true",
+        help="strip the run-specific wall half first (the byte-comparable deterministic form)",
+    )
+
     cache = subparsers.add_parser("cache", help="inspect or prune a result store directory")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_ls = cache_sub.add_parser("ls", help="list the store's cells (stage/service/unit/seed/runner)")
@@ -465,6 +541,7 @@ def _campaign_runner(
     store: Optional[ResultStore],
     jobs: int,
     seeds: Optional[List[int]] = None,
+    trace: bool = False,
 ) -> CampaignRunner:
     """A CampaignRunner matching what `cloudbench all` would plan.
 
@@ -488,6 +565,7 @@ def _campaign_runner(
                 scenario=scenario,
             ),
             store=store,
+            trace=trace,
         )
     except ConfigurationError as error:
         parser.error(str(error))
@@ -537,6 +615,30 @@ def _emit_sweep_artifacts(sweep, args: argparse.Namespace, csv_path: Optional[st
         print(f"JSON written to {args.json_path}")
 
 
+def _write_trace_file(path: Optional[str], document: Optional[dict]) -> None:
+    """Write a campaign trace document for `--trace FILE`, if both exist."""
+    if path is None:
+        return
+    if document is None:
+        print(f"no trace recorded; {path} not written", file=sys.stderr)
+        return
+    from repro.obs.export import write_trace
+
+    write_trace(path, document)
+    print(f"trace written to {path}")
+
+
+def _report_failures(failures: List) -> int:
+    """Print per-cell failure summaries; nonzero when any cell failed."""
+    if not failures:
+        return 0
+    print()
+    for failure in failures:
+        print(f"FAILED {failure.summary()}", file=sys.stderr)
+    print(f"{len(failures)} campaign cell(s) failed", file=sys.stderr)
+    return 1
+
+
 def _print_merged(campaign, merged_rows: List[dict], args: argparse.Namespace, csv_path: Optional[str]) -> None:
     """Shared tail of the `merge` command: summary, accounting, csv, json."""
     print(campaign.suite.summary_text())
@@ -557,6 +659,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``cloudbench`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
+    if args.command == "trace":
+        # Trace inspection is read-only tooling over JSON artifacts: no
+        # scenario/service resolution, no simulator imports.
+        from repro.obs.cli import execute_export, execute_ls, execute_show
+
+        if args.trace_command == "ls":
+            return execute_ls(args.store)
+        if args.trace_command == "show":
+            return execute_show(args.target, error=parser.error)
+        if args.trace_command == "export":
+            return execute_export(
+                input_path=args.trace_input,
+                store_dir=args.trace_store,
+                output=args.trace_output,
+                fmt=args.trace_format,
+                sim_only=args.trace_sim_only,
+                error=parser.error,
+            )
+        parser.error(f"unknown trace command {args.trace_command!r}")  # pragma: no cover
     if args.command == "lint":
         # Lint is self-contained static analysis: no scenario/service
         # resolution, no simulator imports beyond what the spec linter needs.
@@ -673,7 +795,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # statistics.  (A single seed keeps the legacy campaign path —
             # and its byte-identical output — below.)
             store = ResultStore(cache_dir) if cache_dir is not None else None
-            runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=jobs, seeds=seeds)
+            runner = _campaign_runner(
+                parser, args, services, scenario, store=store, jobs=jobs, seeds=seeds,
+                trace=args.trace_path is not None,
+            )
             sweep = runner.run_sweep()
             print(sweep.summary_text())
             print()
@@ -694,7 +819,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.timings_json_path:
                 write_json(args.timings_json_path, sweep.to_json_dict())
                 print(f"Timings JSON written to {args.timings_json_path}")
-            return 0
+            _write_trace_file(args.trace_path, sweep.trace)
+            return _report_failures([f for campaign in sweep.campaigns for f in campaign.failures()])
         suite = BenchmarkSuite(
             services,
             repetitions=args.repetitions,
@@ -705,7 +831,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         stages = _parse_stages(parser, args)
         try:
-            campaign = suite.run_campaign(stages, jobs=jobs, cache_dir=cache_dir)
+            campaign = suite.run_campaign(
+                stages, jobs=jobs, cache_dir=cache_dir, trace=args.trace_path is not None
+            )
         except ConfigurationError as error:
             parser.error(str(error))
         result = campaign.suite
@@ -733,10 +861,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.timings_json_path:
             write_json(args.timings_json_path, campaign.to_json_dict())
             print(f"Timings JSON written to {args.timings_json_path}")
+        _write_trace_file(args.trace_path, campaign.trace)
+        return _report_failures(campaign.failures())
     elif args.command == "shard":
         jobs = args.jobs if args.jobs is not None else default_jobs()
         store = ResultStore(args.store)
-        runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=jobs)
+        runner = _campaign_runner(
+            parser, args, services, scenario, store=store, jobs=jobs, trace=args.trace_path is not None
+        )
         try:
             spec = parse_shard_spec(args.shard_spec) if args.shard_spec is not None else None
             worker = ShardWorker(
@@ -756,9 +888,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"store {args.store}: computed {len(report.computed)} cell(s), "
             f"{report.hits} already present; merge with `cloudbench merge --store {args.store}`"
         )
+        if report.failed:
+            print(f"FAILED cells (not stored): {', '.join(report.failed)}", file=sys.stderr)
+        # A shard's per-cell flight records live in the store sidecars (the
+        # merger reassembles them); the --trace file gets this worker's
+        # harness half: claim/store counters and shard.cell wall spans.
+        _write_trace_file(args.trace_path, runner.trace_document([]))
+        if report.failed:
+            return 1
     elif args.command == "merge":
         store = ResultStore(args.store)
-        runner = _campaign_runner(parser, args, services, scenario, store=store, jobs=1)
+        runner = _campaign_runner(
+            parser, args, services, scenario, store=store, jobs=1, trace=args.trace_path is not None
+        )
         merger = CampaignMerger(runner)
         try:
             merged = merger.collect(wait=args.wait, timeout=args.timeout)
@@ -777,8 +919,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{sweep.cpu_seconds():.2f} s of recorded cell work"
             )
             _emit_sweep_artifacts(sweep, args, args.csv)
+            _write_trace_file(args.trace_path, sweep.trace)
         else:
             _print_merged(merged.campaign, merged.runner_rows(), args, args.csv)
+            _write_trace_file(args.trace_path, merged.sweep.trace)
     elif args.command == "cache":
         store = ResultStore(args.store)
         if args.cache_command == "ls":
@@ -816,4 +960,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; exit
+        # quietly like other Unix filters instead of dumping a traceback.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -62,6 +63,8 @@ from repro.core.workloads import PAPER_WORKLOADS, workload_by_name
 from repro.errors import ConfigurationError, UnknownServiceError
 from repro.filegen.model import FileKind
 from repro.netsim.scenario import BASELINE, ScenarioSpec
+from repro.obs.recorder import campaign_trace_document, cell_flight_record, harness_record
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import (
     SERVICE_NAMES,
@@ -81,6 +84,7 @@ __all__ = [
     "init_worker_services",
     "CampaignConfig",
     "CampaignCell",
+    "CellFailure",
     "CellResult",
     "CampaignResult",
     "CampaignRunner",
@@ -329,6 +333,59 @@ def _spec(stage: str) -> _StageSpec:
 # --------------------------------------------------------------------------- #
 # Cell execution and results
 # --------------------------------------------------------------------------- #
+#: Traceback lines kept in a :class:`CellFailure` summary.
+_TRACEBACK_TAIL_LINES = 6
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Why one cell failed, with enough context to debug it from the report.
+
+    Pool workers cannot usefully re-raise: the parent sees a bare exception
+    with no idea *which* cell died.  Instead a failing cell completes with
+    this record attached — the identity coordinates, the exception, and the
+    tail of its traceback — which flows into the timing table, the
+    ``--timings-json`` record and the flight recorder.  Picklable by
+    construction (strings only), so it survives the process-pool boundary.
+    """
+
+    stage: str
+    service: str
+    unit: str
+    seed: int
+    error_type: str
+    message: str
+    traceback_tail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "service": self.service,
+            "unit": self.unit,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback_tail": self.traceback_tail,
+        }
+
+    def summary(self) -> str:
+        return f"{self.stage}/{self.service}/{self.unit}@{self.seed}: {self.error_type}: {self.message}"
+
+
+def _failure_for(cell: CampaignCell, error: BaseException) -> CellFailure:
+    lines = traceback.format_exception(type(error), error, error.__traceback__)
+    tail = "".join(lines)[-4096:].splitlines()[-_TRACEBACK_TAIL_LINES:]
+    return CellFailure(
+        stage=cell.stage,
+        service=cell.service,
+        unit=cell.unit,
+        seed=cell.seed,
+        error_type=type(error).__name__,
+        message=str(error),
+        traceback_tail="\n".join(tail),
+    )
+
+
 @dataclass
 class CellResult:
     """One cell's payload plus its wall-clock cost and cache provenance.
@@ -336,27 +393,58 @@ class CellResult:
     ``cached`` is ``True`` when the payload was served from a
     :class:`~repro.core.store.ResultStore` rather than computed;
     ``wall_seconds`` then still reports the *original* compute time.
+    ``failure`` is set (and ``payload`` is ``None``) when the cell's
+    experiment raised; ``trace`` carries the cell's flight-record document
+    when the campaign ran with tracing on.
     """
 
     cell: CampaignCell
     payload: Any
     wall_seconds: float
     cached: bool = False
+    failure: Optional[CellFailure] = None
+    trace: Optional[dict] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
     def rows(self) -> List[dict]:
-        """This cell's result rendered as flat report rows."""
+        """This cell's result rendered as flat report rows (empty on failure)."""
+        if self.failure is not None:
+            return []
         spec = _spec(self.cell.stage)
         container = spec.empty(self.payload)
         spec.fold(container, self.cell, self.payload)
         return container.rows()
 
 
-def run_cell(cell: CampaignCell) -> CellResult:
-    """Execute one campaign cell on a fresh testbed and time it."""
+def run_cell(cell: CampaignCell, trace: bool = False) -> CellResult:
+    """Execute one campaign cell on a fresh testbed and time it.
+
+    An unknown stage still raises (a malformed *plan* is a caller bug); an
+    exception from the experiment itself becomes a :class:`CellFailure` on
+    the returned result, so a pool worker's death carries its cell context
+    back to the parent instead of a bare re-raise.  With ``trace`` on, the
+    cell runs under a fresh recording tracer and the result carries its
+    flight-record document.
+    """
     spec = _spec(cell.stage)
+    tracer = Tracer(label=cell.key) if trace else NULL_TRACER
     started = time.perf_counter()
-    payload = spec.run(cell)
-    return CellResult(cell=cell, payload=payload, wall_seconds=time.perf_counter() - started)
+    payload = None
+    failure: Optional[CellFailure] = None
+    with activate(tracer):
+        try:
+            payload = spec.run(cell)
+        except Exception as error:
+            failure = _failure_for(cell, error)
+    wall_seconds = time.perf_counter() - started
+    record = None
+    if trace:
+        tracer.record_wall("cell.run", 0.0, tracer.wall_now(), key=cell.key)
+        record = cell_flight_record(tracer, cell, failure=failure.to_dict() if failure is not None else None)
+    return CellResult(cell=cell, payload=payload, wall_seconds=wall_seconds, failure=failure, trace=record)
 
 
 def worker_service_payload(cells: Sequence[CampaignCell]) -> List[dict]:
@@ -379,13 +467,18 @@ def init_worker_services(payload: Sequence[dict]) -> None:
 
 @dataclass
 class CampaignResult:
-    """Everything one campaign run produces: merged suite + per-cell accounting."""
+    """Everything one campaign run produces: merged suite + per-cell accounting.
+
+    ``trace`` is the campaign's trace document (cells' flight records plus
+    the harness section) when the run was traced, else ``None``.
+    """
 
     suite: "SuiteResult"
     cells: List[CellResult]
     seed: int
     jobs: int
     wall_seconds: float
+    trace: Optional[dict] = None
 
     def timing_rows(self) -> List[dict]:
         """Per-cell wall-clock rows (plan order), for the timing table."""
@@ -396,9 +489,14 @@ class CampaignResult:
                 "unit": result.cell.unit,
                 "wall_s": round(result.wall_seconds, 3),
                 "cached": "yes" if result.cached else "no",
+                "error": result.failure.error_type if result.failure is not None else "-",
             }
             for result in self.cells
         ]
+
+    def failures(self) -> List[CellFailure]:
+        """Every failed cell's context record, plan order."""
+        return [result.failure for result in self.cells if result.failure is not None]
 
     def cpu_seconds(self) -> float:
         """Sum of per-cell wall clocks: the sequential-equivalent runtime."""
@@ -441,6 +539,7 @@ class CampaignResult:
                     "unit": result.cell.unit,
                     "cached": result.cached,
                     "wall_seconds": round(result.wall_seconds, 3),
+                    "error": result.failure.to_dict() if result.failure is not None else None,
                     "rows": result.rows(),
                 }
                 for result in self.cells
@@ -464,6 +563,7 @@ class CampaignRunner:
         jobs: Optional[int] = None,
         config: Optional[CampaignConfig] = None,
         store: Optional[ResultStore] = None,
+        trace: bool = False,
     ) -> None:
         self.services = list(services) if services is not None else list(SERVICE_NAMES)
         wanted = list(stages) if stages is not None else list(STAGES)
@@ -488,6 +588,11 @@ class CampaignRunner:
         self.seed = self.seeds[0]
         self.config = config if config is not None else CampaignConfig()
         self.store = store
+        # Tracing: each cell gets its own recording tracer inside run_cell
+        # (possibly in a worker process); this harness tracer collects the
+        # parent-side wall spans and store/claim metrics.
+        self.trace = trace
+        self.tracer = Tracer(label="harness") if trace else NULL_TRACER
 
     def cells(self) -> List[CampaignCell]:
         """The sweep plan: one cell per (stage, service, unit, seed), seed-major.
@@ -545,6 +650,7 @@ class CampaignRunner:
             seed=self.seed,
             jobs=self.jobs,
             wall_seconds=time.perf_counter() - started,
+            trace=self.trace_document(completed),
         )
 
     def run_sweep(self) -> "SweepResult":
@@ -560,12 +666,14 @@ class CampaignRunner:
 
         started = time.perf_counter()
         completed = self._execute(self.cells())
-        return sweep_from_results(
+        sweep = sweep_from_results(
             completed,
             seeds=self.seeds,
             jobs=self.jobs,
             wall_seconds=time.perf_counter() - started,
         )
+        sweep.trace = self.trace_document(completed)
+        return sweep
 
     def run_cells(self, cells: Sequence[CampaignCell]) -> List[CellResult]:
         """Execute the given cells and return the results, without merging.
@@ -581,32 +689,48 @@ class CampaignRunner:
         """Run the given cells (store-aware, possibly in parallel), plan order."""
         results: List[Optional[CellResult]] = [None] * len(plan)
         pending: List[int] = []
-        for index, cell in enumerate(plan):
-            hit = self.store.load(cell) if self.store is not None else None
-            if hit is not None:
-                results[index] = hit
-            else:
-                pending.append(index)
-        if self.jobs == 1 or len(pending) <= 1:
-            for index in pending:
-                results[index] = self._completed(run_cell(plan[index]))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
-                initializer=init_worker_services,
-                initargs=(worker_service_payload([plan[index] for index in pending]),),
-            ) as pool:
-                futures = {pool.submit(run_cell, plan[index]): index for index in pending}
-                # Persist in completion order (resume granularity); results
-                # land by plan index, so merging stays in plan order.
-                for future in as_completed(futures):
-                    results[futures[future]] = self._completed(future.result())
+        with activate(self.tracer):
+            with self.tracer.wall_span("campaign.store_prepass", cells=len(plan)):
+                for index, cell in enumerate(plan):
+                    hit = self.store.load(cell) if self.store is not None else None
+                    if hit is not None:
+                        results[index] = hit
+                    else:
+                        pending.append(index)
+            with self.tracer.wall_span("campaign.dispatch", pending=len(pending), jobs=self.jobs):
+                # The extra argument only appears when tracing: the common
+                # untraced call keeps run_cell's one-argument shape (stable
+                # for test doubles and third-party wrappers).
+                cell_args = (True,) if self.trace else ()
+                if self.jobs == 1 or len(pending) <= 1:
+                    for index in pending:
+                        results[index] = self._completed(run_cell(plan[index], *cell_args))
+                else:
+                    with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(pending)),
+                        initializer=init_worker_services,
+                        initargs=(worker_service_payload([plan[index] for index in pending]),),
+                    ) as pool:
+                        futures = {pool.submit(run_cell, plan[index], *cell_args): index for index in pending}
+                        # Persist in completion order (resume granularity); results
+                        # land by plan index, so merging stays in plan order.
+                        for future in as_completed(futures):
+                            results[futures[future]] = self._completed(future.result())
         return [result for result in results if result is not None]
 
     def _completed(self, result: CellResult) -> CellResult:
-        if self.store is not None:
+        # Failed cells are never persisted: the store caches *pure payloads*,
+        # and a failure is run-specific, not a function of the cell identity.
+        if self.store is not None and result.failure is None:
             self.store.save(result)
         return result
+
+    def trace_document(self, results: Sequence[CellResult]) -> Optional[dict]:
+        """The campaign trace document for ``results``, or ``None`` untraced."""
+        if not self.trace:
+            return None
+        records = [result.trace for result in results if result.trace is not None]
+        return campaign_trace_document(records, harness=harness_record(self.tracer))
 
 
 def merge_cell_results(results: Sequence[CellResult]) -> "SuiteResult":
@@ -621,6 +745,8 @@ def merge_cell_results(results: Sequence[CellResult]) -> "SuiteResult":
 
     suite = SuiteResult()
     for result in results:
+        if result.failure is not None:
+            continue  # a failed cell has no payload to fold
         spec = _spec(result.cell.stage)
         container = getattr(suite, spec.name)
         if container is None:
@@ -637,8 +763,10 @@ def results_document(results: Sequence[CellResult], *, seed: int) -> dict:
     no wall clocks, worker counts or cache provenance — so any two
     executions of the same (plan, seed, config), sequential, parallel or
     sharded across machines and merged from the store, produce the same
-    document byte for byte.  ``results`` must be in plan order.
+    document byte for byte.  ``results`` must be in plan order; failed
+    cells (run-specific by nature, never cached) are excluded.
     """
+    results = [result for result in results if result.failure is None]
     return {
         "schema": RESULTS_DOC_VERSION,
         "seed": seed,

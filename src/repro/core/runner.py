@@ -149,6 +149,7 @@ class BenchmarkSuite:
         *,
         jobs: int = 1,
         cache_dir: Optional[str] = None,
+        trace: bool = False,
     ) -> CampaignResult:
         """Run the requested stages through the campaign engine.
 
@@ -160,7 +161,9 @@ class BenchmarkSuite:
         already present in the persistent result store under that directory
         are loaded instead of re-run, and fresh cells are saved as they
         complete — so an interrupted or extended campaign resumes
-        incrementally.
+        incrementally.  With ``trace``, every cell records a flight
+        recorder document and the returned result carries the assembled
+        campaign trace (see :mod:`repro.obs`).
         """
         runner = CampaignRunner(
             self.services,
@@ -174,6 +177,7 @@ class BenchmarkSuite:
                 scenario=self.scenario,
             ),
             store=ResultStore(cache_dir) if cache_dir is not None else None,
+            trace=trace,
         )
         return runner.run()
 

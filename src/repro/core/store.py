@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import logging
 import os
 import pickle
@@ -40,6 +41,8 @@ import time
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.export import to_canonical_json
+from repro.obs.tracer import current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from repro.core.campaign import CampaignCell, CellResult
@@ -58,8 +61,9 @@ logger = logging.getLogger(__name__)
 #: Version of the on-disk entry layout *and* of the key material.  Bump it
 #: whenever either changes: every existing entry then misses and is rebuilt.
 #: (2: the key material gained the service-spec fingerprint and the
-#: scenario-bearing campaign config.)
-STORE_SCHEMA_VERSION = 2
+#: scenario-bearing campaign config.  3: CellResult grew failure/trace
+#: fields — older pickles would break ``dataclasses.replace`` on load.)
+STORE_SCHEMA_VERSION = 3
 
 #: Where ``cloudbench all --resume`` keeps its store when no --cache-dir is given.
 DEFAULT_CACHE_DIR = ".cloudbench-cache"
@@ -158,6 +162,11 @@ class ResultStore:
         )
         return os.path.join(self.root, _UNSAFE.sub("_", cell.stage), name + ".pkl")
 
+    def trace_path_for(self, cell: "CampaignCell") -> str:
+        """Flight-record sidecar for one cell: the entry path with ``.trace.json``."""
+        path = self.path_for(cell)
+        return path[: -len(".pkl")] + ".trace.json"
+
     def claims_root(self) -> str:
         """Directory holding the work-stealing lease files for this store."""
         return os.path.join(self.root, ".claims")
@@ -179,19 +188,30 @@ class ResultStore:
         simply misses.
         """
         path = self.path_for(cell)
+        tracer = current_tracer()
         entry = self._read_entry(path)
-        if entry is None:
-            return None
-        if entry.get("schema") != STORE_SCHEMA_VERSION:
+        if entry is None or entry.get("schema") != STORE_SCHEMA_VERSION:
+            tracer.count("store.misses")
             return None
         result = entry.get("result")
         if result is None or getattr(result, "cell", None) != cell:
+            tracer.count("store.misses")
             return None
+        tracer.count("store.hits")
         return StoreEntry(
-            result=dataclasses.replace(result, cached=True),
+            result=dataclasses.replace(result, cached=True, trace=self._load_trace(cell)),
             path=path,
             runner=entry.get("runner"),
         )
+
+    def _load_trace(self, cell: "CampaignCell") -> Optional[dict]:
+        """The cell's flight-record sidecar, if a traced run persisted one."""
+        try:
+            with open(self.trace_path_for(cell), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
 
     def _read_entry(self, path: str) -> Optional[dict]:
         """Parse one entry file; corrupt files are logged, deleted and miss.
@@ -250,6 +270,7 @@ class ResultStore:
 
     def _discard_corrupt(self, path: str, error: Exception) -> None:
         logger.warning("discarding corrupt store entry %s (%s: %s)", path, type(error).__name__, error)
+        current_tracer().count("store.corrupt_healed")
         try:
             os.unlink(path)
         except OSError:  # pragma: no cover - racing deleters are fine
@@ -262,6 +283,11 @@ class ResultStore:
         is a pure function of its identity, two runners racing to save the
         same cell write byte-equivalent results and the atomic rename keeps
         whichever landed last.
+
+        A traced result's flight record is written to a JSON *sidecar* next
+        to the entry (``<entry>.trace.json``, also atomic) and stripped
+        from the pickle, so untraced loads never pay for trace payloads and
+        the sidecar is inspectable without unpickling anything.
         """
         path = self.path_for(result.cell)
         directory = os.path.dirname(path)
@@ -270,7 +296,7 @@ class ResultStore:
             "schema": STORE_SCHEMA_VERSION,
             "key": cache_key(result.cell),
             "runner": self.runner,
-            "result": dataclasses.replace(result, cached=False),
+            "result": dataclasses.replace(result, cached=False, trace=None),
         }
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
@@ -280,7 +306,23 @@ class ResultStore:
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
+        if result.trace is not None:
+            self._save_trace(result.cell, result.trace, directory)
+        current_tracer().count("store.saves")
         return path
+
+    def _save_trace(self, cell: "CampaignCell", record: dict, directory: str) -> None:
+        """Atomically write one cell's flight-record sidecar."""
+        trace_path = self.trace_path_for(cell)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(to_canonical_json(record))
+            os.replace(tmp_path, trace_path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        logger.info("flight record written to %s", trace_path)
 
     def entries(self) -> Iterator[str]:
         """Paths of every entry currently in the store."""
@@ -360,6 +402,11 @@ class ResultStore:
                 os.unlink(path)
                 removed += 1
             except OSError:  # pragma: no cover - racing deleters are fine
+                pass
+            # An entry's flight-record sidecar lives and dies with the entry.
+            try:
+                os.unlink(path[: -len(".pkl")] + ".trace.json")
+            except OSError:
                 pass
         if wipe_all:
             claims = self.claims_root()

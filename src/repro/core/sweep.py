@@ -158,6 +158,10 @@ class SweepResult:
     campaigns: List[CampaignResult]
     jobs: int
     wall_seconds: float
+    #: Campaign trace document (``cloudbench-trace``) when the sweep ran
+    #: with tracing enabled; ``None`` otherwise.  Run-specific in its wall
+    #: half — never part of :meth:`document`.
+    trace: Optional[dict] = None
     # Lazily computed by aggregate_rows()/consensus_rows(); summary, CSV
     # and document all consume the same reductions, so refolding every
     # cell payload per consumer would triple the reduction cost of a

@@ -23,6 +23,7 @@ protocol stay this small.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -30,8 +31,11 @@ from typing import List, Optional
 
 from repro.core.campaign import CampaignCell
 from repro.core.store import ResultStore, cache_key
+from repro.obs.tracer import current_tracer
 
 __all__ = ["DEFAULT_LEASE_TIMEOUT", "Lease", "ClaimBoard"]
+
+logger = logging.getLogger(__name__)
 
 #: Seconds without a heartbeat after which a lease counts as abandoned.
 #: Generous relative to cell runtimes (seconds), small enough that a killed
@@ -104,6 +108,7 @@ class ClaimBoard:
             return self._try_reclaim(cell, path)
         with os.fdopen(fd, "wb") as handle:
             handle.write(self._record(cell))
+        current_tracer().count("claims.acquired")
         return True
 
     def _try_reclaim(self, cell: CampaignCell, path: str) -> bool:
@@ -141,7 +146,13 @@ class ClaimBoard:
                 except OSError:  # pragma: no cover
                     pass
         lease = self._read_lease(path)
-        return lease is not None and lease.runner == self.runner_id
+        reclaimed = lease is not None and lease.runner == self.runner_id
+        if reclaimed:
+            tracer = current_tracer()
+            tracer.count("claims.acquired")
+            tracer.count("claims.reclaimed")
+            logger.info("reclaimed stale lease on %s", cell.key)
+        return reclaimed
 
     def heartbeat(self, cell: CampaignCell) -> None:
         """Refresh our lease's mtime so other runners keep hands off."""
@@ -154,6 +165,7 @@ class ClaimBoard:
         """Drop the claim (after the result landed in the store)."""
         try:
             os.unlink(self.path_for(cell))
+            current_tracer().count("claims.released")
         except OSError:  # already gone — e.g. reclaimed after we went stale
             pass
 

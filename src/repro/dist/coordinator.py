@@ -52,6 +52,7 @@ from repro.core.sweep import SweepResult, sweep_from_results
 from repro.dist.claims import DEFAULT_LEASE_TIMEOUT, ClaimBoard
 from repro.dist.plan import ShardPlan, ShardSpec
 from repro.errors import DistributionError
+from repro.obs.tracer import activate
 
 __all__ = ["default_runner_id", "ShardWorker", "WorkerReport", "CampaignMerger", "MergedCampaign"]
 
@@ -71,6 +72,7 @@ class WorkerReport:
     computed: List[str] = field(default_factory=list)  # cell keys run here
     hits: int = 0  # cells already present in the store
     yielded: List[str] = field(default_factory=list)  # left to live rivals
+    failed: List[str] = field(default_factory=list)  # cells whose experiment raised
     wall_seconds: float = 0.0
 
     def rows(self) -> List[dict]:
@@ -83,6 +85,7 @@ class WorkerReport:
                 "computed": len(self.computed),
                 "store_hits": self.hits,
                 "yielded": len(self.yielded),
+                "failed": len(self.failed),
                 "wall_s": round(self.wall_seconds, 3),
             }
         ]
@@ -127,10 +130,14 @@ class ShardWorker:
     def run(self) -> WorkerReport:
         """Work until this runner can contribute nothing more, then report."""
         started = time.perf_counter()
-        if self.shard is not None:
-            report = self._run_static(self.shard)
-        else:
-            report = self._run_steal()
+        # The runner's harness tracer (recording iff the campaign is traced)
+        # is active for the whole loop, so store hit/miss and claim
+        # acquire/reclaim counters land in the worker's harness section.
+        with activate(self.runner.tracer):
+            if self.shard is not None:
+                report = self._run_static(self.shard)
+            else:
+                report = self._run_steal()
         report.wall_seconds = time.perf_counter() - started
         return report
 
@@ -148,8 +155,9 @@ class ShardWorker:
             runner=self.runner_id,
             mode=f"shard {spec}",
             planned=len(cells),
-            computed=[result.cell.key for result in results if not result.cached],
+            computed=[result.cell.key for result in results if not result.cached and result.failure is None],
             hits=sum(1 for result in results if result.cached),
+            failed=[result.cell.key for result in results if result.failure is not None],
         )
 
     # Work stealing -------------------------------------------------------- #
@@ -166,6 +174,8 @@ class ShardWorker:
         report = WorkerReport(runner=self.runner_id, mode="steal", planned=len(plan))
         pending = {cell.key: cell for cell in plan}
         in_flight: Dict[object, object] = {}  # future -> cell
+        tracer = self.runner.tracer
+        launched: Dict[object, float] = {}  # future -> wall_now() at submit
         try:
             with ProcessPoolExecutor(
                 max_workers=self.runner.jobs,
@@ -173,7 +183,9 @@ class ShardWorker:
                 initargs=(worker_service_payload(plan),),
             ) as pool:
                 while pending or in_flight:
-                    progressed = self._fill(pool, pending, in_flight, report)
+                    progressed = self._fill(pool, pending, in_flight, launched, report)
+                    if tracer.enabled:
+                        tracer.gauge_set("shard.in_flight", len(in_flight))
                     if in_flight:
                         done, _ = wait(set(in_flight), timeout=self.heartbeat_interval, return_when=FIRST_COMPLETED)
                         failure: Optional[BaseException] = None
@@ -187,17 +199,36 @@ class ShardWorker:
                                 if failure is None:
                                     failure = error
                                 continue
-                            # Keep the cell in in_flight until the save lands,
-                            # so a failing save still releases its lease via
-                            # the crash cleanup below.
-                            self.store.save(result)
-                            del in_flight[future]
-                            self.claims.release(cell)
-                            report.computed.append(cell.key)
+                            if result.failure is not None:
+                                # The experiment raised inside the cell: the
+                                # failure context rides the result; nothing to
+                                # cache, and the lease goes back so a fixed
+                                # relaunch can recompute the cell.
+                                del in_flight[future]
+                                self.claims.release(cell)
+                                report.failed.append(cell.key)
+                            else:
+                                # Keep the cell in in_flight until the save
+                                # lands, so a failing save still releases its
+                                # lease via the crash cleanup below.
+                                self.store.save(result)
+                                del in_flight[future]
+                                self.claims.release(cell)
+                                report.computed.append(cell.key)
+                            if tracer.enabled:
+                                tracer.record_wall(
+                                    "shard.cell",
+                                    launched.pop(future, 0.0),
+                                    tracer.wall_now(),
+                                    key=cell.key,
+                                    outcome="failed" if result.failure is not None else "computed",
+                                )
                         if failure is not None:
                             raise failure
                         for cell in in_flight.values():
                             self.claims.heartbeat(cell)
+                        if tracer.enabled and in_flight:
+                            tracer.count("shard.heartbeats", len(in_flight))
                     elif not progressed:
                         # Everything left is freshly leased by live rivals.
                         report.yielded = sorted(pending)
@@ -210,9 +241,12 @@ class ShardWorker:
             raise
         return report
 
-    def _fill(self, pool: ProcessPoolExecutor, pending: dict, in_flight: dict, report: WorkerReport) -> bool:
+    def _fill(
+        self, pool: ProcessPoolExecutor, pending: dict, in_flight: dict, launched: dict, report: WorkerReport
+    ) -> bool:
         """Claim and submit work up to the pool width; True if anything moved."""
         progressed = False
+        tracer = self.runner.tracer
         for key in list(pending):
             if len(in_flight) >= self.runner.jobs:
                 break
@@ -222,7 +256,12 @@ class ShardWorker:
                 report.hits += 1
                 progressed = True
             elif self.claims.claim(cell):
-                in_flight[pool.submit(run_cell, cell)] = cell
+                # Match campaign._execute: the trace argument only appears
+                # when tracing, keeping run_cell's one-argument shape stable.
+                future = pool.submit(run_cell, cell, True) if self.runner.trace else pool.submit(run_cell, cell)
+                in_flight[future] = cell
+                if tracer.enabled:
+                    launched[future] = tracer.wall_now()
                 del pending[key]
                 progressed = True
         return progressed
@@ -359,6 +398,10 @@ class CampaignMerger:
             jobs=self.runner.jobs,
             wall_seconds=time.perf_counter() - started,
         )
+        if self.runner.trace:
+            # Flight records ride the store sidecars, so a traced merge can
+            # reassemble the full campaign trace without recomputing a cell.
+            sweep.trace = self.runner.trace_document(results)
         runner_cells: Counter = Counter()
         runner_cpu: Dict[str, float] = {}
         for entry in entries:

@@ -7,6 +7,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = ["ScheduledEvent", "EventQueue"]
 
 #: Below this heap size compaction is never worth the rebuild.
@@ -50,10 +52,13 @@ class EventQueue:
     bounded heap instead of leaking tombstones until they drain.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer=None) -> None:
         self._heap: List[ScheduledEvent] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Observability sink; the null tracer keeps the hot paths one
+        #: ``enabled`` test away from zero cost.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def __len__(self) -> int:
         return self._live
@@ -65,6 +70,9 @@ class EventQueue:
         )
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self.tracer.enabled:
+            self.tracer.count("netsim.events.scheduled")
+            self.tracer.gauge_set("netsim.events.depth", self._live)
         return event
 
     def _note_cancelled(self) -> None:
@@ -72,6 +80,8 @@ class EventQueue:
         self._live -= 1
         if len(self._heap) >= _COMPACT_MIN_HEAP and self._live * 2 < len(self._heap):
             self._compact()
+            if self.tracer.enabled:
+                self.tracer.count("netsim.events.compactions")
 
     def _compact(self) -> None:
         """Rebuild the heap from the live events only.
@@ -103,6 +113,8 @@ class EventQueue:
                 event = heapq.heappop(heap)
                 event.owner = None
                 self._live -= 1
+                if self.tracer.enabled:
+                    self.tracer.count("netsim.events.fired")
                 return event
             return None
         return None

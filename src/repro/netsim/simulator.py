@@ -12,6 +12,7 @@ from repro.netsim.link import NetworkPath
 from repro.netsim.packet import Packet, PacketBatch
 from repro.netsim.tcp import TCPConnection
 from repro.netsim.tls import TLSParameters
+from repro.obs.tracer import current_tracer
 
 __all__ = ["NetworkSimulator"]
 
@@ -28,7 +29,12 @@ class NetworkSimulator:
     def __init__(self, client: Endpoint = CLIENT_ENDPOINT, start_time: float = 0.0) -> None:
         self.client = client
         self.clock = SimClock(start_time)
-        self.events = EventQueue()
+        #: The tracer active at construction time (the per-cell tracer when a
+        #: traced campaign built this simulator, else the zero-cost null
+        #: tracer).  Captured once so the hot paths below never do a lookup.
+        self.tracer = current_tracer()
+        self.trace_track = self.tracer.register_track("sim") if self.tracer.enabled else 0
+        self.events = EventQueue(tracer=self.tracer)
         self._sniffers: List[Callable[[Packet], None]] = []
         self._next_connection_id = 1
         self._next_ephemeral_port = 49152
@@ -146,6 +152,9 @@ class NetworkSimulator:
 
     def emit(self, packet: Packet) -> None:
         """Deliver ``packet`` to every registered sniffer."""
+        if self.tracer.enabled:
+            self.tracer.count("netsim.packets")
+            self.tracer.count("netsim.wire_bytes", packet.wire_len)
         for sniffer in self._sniffers:
             sniffer(packet)
 
@@ -157,6 +166,11 @@ class NetworkSimulator:
         plain per-packet callables get the burst materialized once and
         replayed packet by packet, preserving the old observable order.
         """
+        if self.tracer.enabled:
+            self.tracer.count("netsim.packets", len(batch.timestamps))
+            self.tracer.count(
+                "netsim.wire_bytes", sum(batch.payload_lens) + sum(batch.headers_lens)
+            )
         materialized = None
         for sniffer in self._sniffers:
             accept = getattr(sniffer, "accept_batch", None)

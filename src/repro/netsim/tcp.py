@@ -163,6 +163,16 @@ class TCPConnection:
         self._advance(rtt)
         self.state = TCPState.ESTABLISHED
         self.opened_at = self._now
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.sim_span(
+                "tcp.connect",
+                start,
+                self._now,
+                track=self._sim.trace_track,
+                conn=self.connection_id,
+                host=self.remote.hostname,
+            )
         if self.tls is not None:
             self._tls_handshake()
         return TransferStats(start=start, end=self._now)
@@ -188,6 +198,17 @@ class TCPConnection:
         elapsed += params.compute_delay
         self._advance(elapsed)
         self.secured = True
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.sim_span(
+                "tls.handshake",
+                start,
+                self._now,
+                track=self._sim.trace_track,
+                conn=self.connection_id,
+                host=self.remote.hostname,
+                rtts=params.handshake_rtts,
+            )
 
     def close(self) -> None:
         """Close the connection.
@@ -231,6 +252,20 @@ class TCPConnection:
         self._emit_data(start, start + duration, wire_payload, direction, note=note)
         self._emit_acks(start, start + duration, wire_payload, direction)
         self._advance(duration)
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.sim_span(
+                "tcp.send",
+                start,
+                self._now,
+                track=self._sim.trace_track,
+                conn=self.connection_id,
+                bytes=nbytes,
+                dir="up" if upstream else "down",
+                note=note,
+            )
+            tracer.count(f"tcp.conn.{self.connection_id:05d}.wire_bytes", wire_payload)
+            tracer.observe("tcp.send_seconds", duration)
         if upstream:
             self.bytes_sent += nbytes
             return TransferStats(start=start, end=self._now, app_bytes_up=nbytes)

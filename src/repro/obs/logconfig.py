@@ -1,0 +1,60 @@
+"""Logging configuration for the ``cloudbench`` CLI.
+
+The library logs under the ``repro`` namespace (``repro.core.store``
+warns on corrupt-entry self-heal, ``repro.dist.claims`` notes lease
+reclaims, the obs layer narrates trace writes).  With no handler those
+lines vanish into Python's last-resort stderr-at-WARNING fallback with
+an unstable format; this module gives the CLI one stderr handler with a
+stable format and verbosity mapped from ``-v``/``-q`` flags.
+
+Logging never writes to stdout — stdout carries rendered tables and
+``--json`` documents that scripts parse.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "LOG_FORMAT"]
+
+LOG_FORMAT = "cloudbench: %(levelname)s %(name)s: %(message)s"
+
+_HANDLER_NAME = "cloudbench-stderr"
+
+
+def configure_logging(verbosity: int = 0, *, stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    ``verbosity`` follows the CLI flags: ``-1`` for ``-q`` (errors only),
+    ``0`` default (warnings — the self-heal notices), ``1`` for ``-v``
+    (info — cache activity, claim churn, trace writes), ``2+`` for
+    ``-vv`` (debug).  Idempotent: repeated calls reconfigure the same
+    handler instead of stacking duplicates.
+    """
+    level = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}.get(
+        max(-1, min(verbosity, 2)), logging.DEBUG
+    )
+    logger = logging.getLogger("repro")
+    handler = None
+    for existing in logger.handlers:
+        if existing.get_name() == _HANDLER_NAME:
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(handler)
+    elif stream is not None:
+        try:
+            handler.setStream(stream)
+        except ValueError:  # the previous stream was already closed
+            handler.stream = stream
+    logger.setLevel(level)
+    # Propagation stays on: the root logger normally has no handler (so
+    # nothing double-prints — our handler satisfies callHandlers, keeping
+    # the last-resort fallback quiet), while root-level capture such as
+    # pytest's caplog keeps seeing library records.
+    logger.propagate = True
+    return logger

@@ -1,0 +1,129 @@
+"""Counters, gauges and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a per-tracer bag of named instruments.  Two
+determinism properties matter more than any feature:
+
+* **Snapshot canonicality** — :meth:`MetricsRegistry.snapshot` emits one
+  nested dict with every name sorted, so two registries that saw the same
+  sequence of updates serialize byte-identically.
+* **Domain discipline** — instruments updated from *simulated* activity
+  (packets emitted, event-queue depth, per-connection wire bytes) are pure
+  functions of the cell identity and land in the deterministic half of a
+  flight record; instruments updated from *harness* activity (store hits,
+  lease reclaims) are run-specific and belong to the campaign-level
+  registry, which the canonicalizer strips alongside wall-time spans.
+
+Instruments are deliberately minimal: no labels, no exposition formats —
+just exact values that can be asserted in tests and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured log scale).
+DEFAULT_BUCKETS: Tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing count (packets, hits, reclaims)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level plus its high-water mark (queue depth)."""
+
+    __slots__ = ("value", "high")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self.high: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+
+class Histogram:
+    """A fixed-bucket distribution (transfer durations, batch sizes).
+
+    ``bounds`` are inclusive upper edges; one implicit overflow bucket
+    catches everything beyond the last edge.  ``sum`` accumulates in
+    observation order, so equal observation sequences produce bit-equal
+    sums.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch, snapshotted canonically."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical dict of every instrument, names sorted, empty kinds omitted."""
+        out: Dict[str, object] = {}
+        if self._counters:
+            out["counters"] = {name: self._counters[name].value for name in sorted(self._counters)}
+        if self._gauges:
+            out["gauges"] = {
+                name: {"value": gauge.value, "high": gauge.high}
+                for name, gauge in sorted(self._gauges.items())
+            }
+        if self._histograms:
+            out["histograms"] = {
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            }
+        return out

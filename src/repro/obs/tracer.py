@@ -1,0 +1,216 @@
+"""The tracer: spans in two clock domains plus a metrics registry.
+
+Every piece of instrumentation in the repository reports to a
+:class:`Tracer`.  Spans live in one of two clock domains:
+
+* **sim** — timestamps read from :class:`~repro.netsim.clock.SimClock`.
+  Simulated time is a pure function of (plan, seed, config), so sim spans
+  are byte-identical across ``--jobs N``, seed order and shard+merge
+  topologies; they can be golden-tested and diffed in CI exactly like the
+  results documents.
+* **wall** — monotonic harness profiling (``time.perf_counter`` offsets
+  from the tracer's creation).  Wall spans answer "where did the harness
+  spend real time" and are stripped by
+  :func:`repro.obs.recorder.strip_wall` before any determinism
+  comparison, exactly as ``repro.perf.document.strip_measurements``
+  strips benchmark numbers.
+
+Tracing must cost nothing when off: the module-level active tracer
+defaults to :data:`NULL_TRACER`, whose every method is a no-op and whose
+``enabled`` flag lets hot paths guard emission with a single attribute
+test.  Instrumented components capture the active tracer once at
+construction (e.g. ``NetworkSimulator.__init__``); :func:`activate` swaps
+the active tracer for the duration of one cell or one harness phase.
+
+The active tracer is per-process state.  Campaign cells run one at a time
+per process (the process pool is the concurrency mechanism), so a plain
+module global is sufficient and keeps ``current_tracer()`` a dict-free
+single load.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "SIM_DOMAIN",
+    "WALL_DOMAIN",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "activate",
+]
+
+SIM_DOMAIN = "sim"
+WALL_DOMAIN = "wall"
+
+
+@dataclass
+class Span:
+    """One completed span: a named interval on one track of one domain."""
+
+    span_id: int
+    name: str
+    domain: str
+    start: float
+    end: float
+    track: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical dict form (attrs key-sorted) for the flight record."""
+        doc: Dict[str, object] = {
+            "id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "track": self.track,
+        }
+        if self.attrs:
+            doc["attrs"] = {key: self.attrs[key] for key in sorted(self.attrs)}
+        return doc
+
+
+class Tracer:
+    """A recording tracer: collects spans and owns a metrics registry.
+
+    Span ids are assigned in record order, which is deterministic for sim
+    spans (simulated activity is single-threaded within a cell and a pure
+    function of the cell identity).  Sim and wall spans are kept apart so
+    the recorder can serialize — and the canonicalizer strip — each domain
+    independently.
+    """
+
+    enabled = True
+
+    def __init__(self, *, label: str = "") -> None:
+        self.label = label
+        self.metrics = MetricsRegistry()
+        self.sim_spans: List[Span] = []
+        self.wall_spans: List[Span] = []
+        self.tracks: List[str] = []
+        self._next_id = 0
+        self._wall_origin = time.perf_counter()
+
+    # -- tracks ---------------------------------------------------------- #
+    def register_track(self, label: str) -> int:
+        """Allot the next track id (one per simulator, in creation order)."""
+        self.tracks.append(label)
+        return len(self.tracks) - 1
+
+    # -- sim domain ------------------------------------------------------ #
+    def sim_span(self, name: str, start: float, end: float, *, track: int = 0, **attrs: object) -> Span:
+        """Record one completed sim-time span (timestamps in simulated seconds)."""
+        span = Span(self._next_id, name, SIM_DOMAIN, start, end, track=track, attrs=attrs)
+        self._next_id += 1
+        self.sim_spans.append(span)
+        return span
+
+    # -- wall domain ----------------------------------------------------- #
+    def wall_now(self) -> float:
+        """Monotonic seconds since this tracer was created."""
+        return time.perf_counter() - self._wall_origin
+
+    def record_wall(self, name: str, start: float, end: float, **attrs: object) -> Span:
+        """Record one completed wall span from explicit :meth:`wall_now` offsets."""
+        span = Span(self._next_id, name, WALL_DOMAIN, start, end, attrs=attrs)
+        self._next_id += 1
+        self.wall_spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def wall_span(self, name: str, **attrs: object) -> Iterator[Dict[str, object]]:
+        """Measure a ``with`` block in the wall domain.
+
+        Yields the span's attrs dict so the block can attach outcomes
+        (counts, sizes) discovered while it runs.
+        """
+        start = self.wall_now()
+        try:
+            yield attrs
+        finally:
+            self.record_wall(name, start, self.wall_now(), **attrs)
+
+    # -- metrics conveniences ------------------------------------------- #
+    def count(self, name: str, amount: float = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.metrics.histogram(name, bounds).observe(value)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Hot paths guard on :attr:`enabled` and skip emission entirely; cold
+    paths may call the recording API unguarded — nothing is stored.
+    """
+
+    enabled = False
+    label = ""
+    metrics: Optional[MetricsRegistry] = None
+    sim_spans: List[Span] = []
+    wall_spans: List[Span] = []
+    tracks: List[str] = []
+
+    def register_track(self, label: str) -> int:
+        return 0
+
+    def sim_span(self, name: str, start: float, end: float, *, track: int = 0, **attrs: object) -> None:
+        return None
+
+    def wall_now(self) -> float:
+        return 0.0
+
+    def record_wall(self, name: str, start: float, end: float, **attrs: object) -> None:
+        return None
+
+    def wall_span(self, name: str, **attrs: object) -> "contextlib.AbstractContextManager":
+        return contextlib.nullcontext(attrs)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        return None
+
+    def gauge_set(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        return None
+
+
+#: The process-wide disabled tracer; ``current_tracer()`` returns it unless
+#: a campaign activated a recording tracer.
+NULL_TRACER = NullTracer()
+
+_ACTIVE = NULL_TRACER
+
+
+def current_tracer():
+    """The tracer instrumentation should report to right now."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(tracer) -> Iterator[object]:
+    """Make ``tracer`` the active tracer for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

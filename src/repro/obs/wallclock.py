@@ -1,0 +1,30 @@
+"""The observability layer's sanctioned wall-clock home.
+
+DET003 bans wall clocks from library code because a timestamp that leaks
+into a results document breaks byte-identity across runs.  Observability
+is one of the few places a real timestamp is the *point*: a flight
+record's wall half says when the harness actually ran, exactly as
+``repro.perf.environment`` stamps the benchmark document.  That wall half
+is stripped by :func:`repro.obs.recorder.strip_wall` before any
+determinism comparison, so the clock can never contaminate a diffed
+artifact.
+
+This module is the only file in ``repro/obs`` allowed to touch
+``datetime.now`` / ``time.time`` (see ``WallClockRule.allowlist`` in
+``repro.analysis.rules.det``); everything else in the layer uses
+``time.perf_counter`` offsets, which DET003 permits everywhere.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import Dict
+
+__all__ = ["wall_context"]
+
+
+def wall_context() -> Dict[str, object]:
+    """Run-specific context for the wall half of a trace document."""
+    return {
+        "timestamp_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }

@@ -187,6 +187,7 @@ class CloudStorageClient:
         """
         if self._logged_in:
             return
+        login_started = self._sim.now
         spec = self.profile.login
         control = self.profile.primary_control
         per_server = max(spec.total_bytes // max(spec.server_count, 1), 500)
@@ -214,6 +215,16 @@ class CloudStorageClient:
         # channel right after login (Dropbox's plain-HTTP long poll, §3.1).
         if spec.notification_subscribe_bytes > 0:
             self._notification().get(spec.notification_subscribe_bytes, note="notification-subscribe")
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.sim_span(
+                "sync.login",
+                login_started,
+                self._sim.now,
+                track=self._sim.trace_track,
+                service=self.profile.name,
+                servers=spec.server_count,
+            )
 
     def start_polling(self) -> None:
         """Begin the background polling/notification loop."""
@@ -250,6 +261,9 @@ class CloudStorageClient:
         else:
             channel = self._notification() if polling.use_notification_channel else self._control()
             channel.connection.request(polling.request_bytes, polling.response_bytes, note="poll")
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.count("sync.polls")
         self._schedule_next_poll()
 
     def disconnect(self) -> None:
@@ -277,6 +291,8 @@ class CloudStorageClient:
         if not files:
             raise ServiceError("sync_files() requires at least one file")
         started = self._sim.now
+        tracer = self._sim.tracer
+        track = self._sim.trace_track
         self._local_processing_delay(files)
         # Digests scheduled for upload earlier in this same batch: a real
         # deduplicating client hashes the whole batch before transferring,
@@ -284,10 +300,46 @@ class CloudStorageClient:
         # them has reached the server yet (§4.3).
         batch_digests: set = set()
         prepared = [self._prepare_file(file, batch_digests) for file in files]
+        if tracer.enabled:
+            tracer.sim_span(
+                "sync.prepare",
+                started,
+                self._sim.now,
+                track=track,
+                service=self.profile.name,
+                files=len(files),
+            )
+        upload_started = self._sim.now
         summary = self._upload_prepared(prepared)
+        if tracer.enabled:
+            tracer.sim_span(
+                "sync.upload",
+                upload_started,
+                self._sim.now,
+                track=track,
+                service=self.profile.name,
+                files=len(prepared),
+            )
         summary.started_at = started
         summary.finished_at = self._sim.now
+        finalize_started = self._sim.now
         self._finalize(prepared)
+        if tracer.enabled:
+            tracer.sim_span(
+                "sync.finalize",
+                finalize_started,
+                self._sim.now,
+                track=track,
+                service=self.profile.name,
+            )
+            tracer.sim_span(
+                "sync.batch",
+                started,
+                self._sim.now,
+                track=track,
+                service=self.profile.name,
+                files=len(files),
+            )
         return summary
 
     def delete_files(self, names: Sequence[str]) -> None:
