@@ -14,6 +14,7 @@ from repro.analysis.engine import Rule
 from repro.analysis.rules.det import (
     GlobalRandomRule,
     ImplicitJsonKeyOrderRule,
+    NumpyGlobalRandomRule,
     SetIterationRule,
     UnsortedEnumerationRule,
     WallClockRule,
@@ -28,6 +29,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     WallClockRule,
     ImplicitJsonKeyOrderRule,
     SetIterationRule,
+    NumpyGlobalRandomRule,
     CacheKeyCoverageRule,
 ]
 

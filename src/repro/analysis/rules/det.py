@@ -38,6 +38,12 @@ corrupt a store:
   without sorting it first.  Set iteration order depends on insertion
   history and — for strings — on ``PYTHONHASHSEED``.  Membership tests
   (``x in {...}``) are order-free and not flagged.
+* **DET006** — numpy's module-level random API (``np.random.seed``,
+  ``np.random.rand`` ...), the exact numpy analogue of DET002: those
+  functions all share one hidden global ``RandomState`` whose stream
+  depends on call order across the process.  Instance-based constructs
+  (``default_rng``, ``Generator``, ``RandomState(seed)``, the bit
+  generators, ``SeedSequence``) are explicitly seeded and stay legal.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ __all__ = [
     "WallClockRule",
     "ImplicitJsonKeyOrderRule",
     "SetIterationRule",
+    "NumpyGlobalRandomRule",
 ]
 
 #: Enumeration attributes, on any object: the os, glob and pathlib APIs.
@@ -183,6 +190,56 @@ class ImplicitJsonKeyOrderRule(Rule):
                 "contract (sort_keys=True, or sort_keys=False where insertion order is the "
                 "pinned canonical order)",
             )
+
+
+class NumpyGlobalRandomRule(Rule):
+    rule_id = "DET006"
+    title = "numpy module-level random API"
+
+    #: Instance-based (explicitly seeded) constructs; everything else on
+    #: ``numpy.random`` is an alias into the hidden global ``RandomState``.
+    _INSTANCE_BASED = {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        for node in module.walk():
+            if isinstance(node, ast.Attribute):
+                inner = _attribute_pair(node.value)
+                if (
+                    inner is not None
+                    and inner[0] in ("np", "numpy")
+                    and inner[1] == "random"
+                    and node.attr not in self._INSTANCE_BASED
+                ):
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"{inner[0]}.random.{node.attr}: numpy's module-level random API shares "
+                        "one hidden global RandomState; use an explicitly seeded generator "
+                        "(numpy.random.default_rng or a bit generator) instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                names = sorted(
+                    alias.name for alias in node.names if alias.name not in self._INSTANCE_BASED
+                )
+                if names:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"from numpy.random import {', '.join(names)}: only the instance-based "
+                        "constructs (default_rng, Generator, the bit generators) may be imported; "
+                        "the module-level functions share the hidden global stream",
+                    )
 
 
 class SetIterationRule(Rule):

@@ -37,8 +37,11 @@ def count_tcp_syns(trace: PacketTrace, *, outgoing_only: bool = True) -> int:
     With ``outgoing_only`` (default) only client-initiated SYNs are counted,
     i.e. SYN/ACKs from servers are excluded — this matches counting the
     connections the client opens (Fig. 3).
+
+    Handshake packets are never elided, so this reads the segment-level
+    columns: flow-segment rows carry ACK|PSH and simply never match.
     """
-    columns = trace.sorted_columns()
+    columns = trace.segment_columns()
     syn = TCPFlags.SYN
     ack = TCPFlags.ACK
     out = PacketDirection.OUT
@@ -65,9 +68,12 @@ def syn_time_series(trace: PacketTrace, *, relative: bool = True) -> List[Tuple[
     Returns a list of ``(timestamp, cumulative_syn_count)`` pairs, one per
     SYN.  With ``relative`` timestamps are re-based to the first packet of
     the trace.
+
+    Like :func:`count_tcp_syns` this works on the segment-level columns —
+    SYNs are always plain packet rows, so no flow segment ever expands.
     """
     origin = trace.first_timestamp() or 0.0
-    columns = trace.sorted_columns()
+    columns = trace.segment_columns()
     syn = TCPFlags.SYN
     ack = TCPFlags.ACK
     out = PacketDirection.OUT
@@ -242,8 +248,12 @@ def classify_hosts(
     told apart by server name (§3.1); for services mixing both on the same
     hosts (Wuala) the paper falls back to flow sizes — hosts whose flows
     carry more than ``payload_threshold`` payload bytes are storage.
+
+    Flow-segment rows carry their range's exact aggregate payload bytes, so
+    the per-host totals come straight off the segment-level columns without
+    materializing bulk packets.
     """
-    columns = trace.sorted_columns()
+    columns = trace.segment_columns()
     totals: Dict[str, int] = {}
     for hostname, payload_len in zip(columns.hostnames, columns.payload_lens):
         if not hostname:

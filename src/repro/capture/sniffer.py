@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.netsim.packet import Packet, PacketBatch
+from repro.netsim.packet import FlowSegment, Packet, PacketBatch
 from repro.netsim.simulator import NetworkSimulator
 from repro.capture.trace import PacketTrace
 
@@ -36,6 +36,11 @@ class Sniffer:
         """Batch callback: record a whole emission burst column-wise."""
         if self._capturing:
             self.trace.extend_batch(batch)
+
+    def accept_flow(self, segment: FlowSegment) -> None:
+        """Flow callback: record an elided bulk-transfer segment whole."""
+        if self._capturing:
+            self.trace.extend_flow(segment)
 
     # ------------------------------------------------------------------ #
     # Capture control

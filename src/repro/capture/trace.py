@@ -15,15 +15,38 @@ cache them), while filters and aggregates work directly on the columns:
 
 Sniffers append whole emission bursts at once via :meth:`extend_batch`,
 which extends each column with one C-level call per field.
+
+Flow segments
+-------------
+
+Elided bulk transfers arrive via :meth:`extend_flow` as
+:class:`~repro.netsim.packet.FlowSegment` records.  A segment occupies a
+*single row* of the columns — its timestamp is the first elided record's,
+its payload/header cells hold the exact aggregate totals of the whole
+range — plus an entry in the parallel ``_seg`` column.  Row-preserving
+filters (``to_hosts``, ``for_connection``, ``outgoing`` …) and byte
+aggregates therefore work on elided traces without ever expanding them;
+window filters (``between``/``after``) narrow straddling segments with
+:meth:`FlowSegment.subrange` and stay elided too.
+
+Per-packet accessors (``packets``, iteration, ``filter``,
+``sorted_columns``) call :meth:`_materialize`, which expands every
+segment with the canonical burst loop and re-sorts by ``(timestamp,
+capture ordinal)``.  Each row carries a capture ordinal; a segment row
+reserves one ordinal per elided record, so the materialized order is
+provably identical to what eager per-record emission would have captured
+— bit-exact timestamps, sizes and addresses (see
+``tests/test_properties.py``).
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, bisect_right
 from itertools import islice, repeat
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
-from repro.netsim.packet import Packet, PacketBatch, PacketDirection
+from repro.netsim.packet import FlowSegment, Packet, PacketBatch, PacketDirection
 
 __all__ = ["PacketTrace", "TraceColumns"]
 
@@ -50,6 +73,30 @@ class TraceColumns(NamedTuple):
     notes: List[str]
 
 
+def _first_record_at_or_after(segment: FlowSegment, timestamp: float) -> int:
+    """Smallest elided record index whose timestamp is ``>= timestamp``."""
+    lo, hi = segment.first_record, segment.last_record
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if segment.record_timestamp(mid) < timestamp:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _first_record_after(segment: FlowSegment, timestamp: float) -> int:
+    """Smallest elided record index whose timestamp is ``> timestamp``."""
+    lo, hi = segment.first_record, segment.last_record
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if segment.record_timestamp(mid) <= timestamp:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
 class PacketTrace:
     """An append-only, time-ordered view over captured packets.
 
@@ -57,7 +104,9 @@ class PacketTrace:
     events and asynchronous FIN packets may be stamped slightly out of order,
     accessors sort lazily by timestamp when needed.  The sort is stable:
     packets sharing a timestamp keep their capture order, exactly like the
-    row-oriented implementation this replaces.
+    row-oriented implementation this replaces.  Capture order is tracked
+    explicitly per row as an *ordinal* so that lazily expanded flow segments
+    sort into exactly the position their eager packets would have occupied.
     """
 
     __slots__ = (
@@ -74,6 +123,11 @@ class PacketTrace:
         "_conn",
         "_host",
         "_note",
+        "_seg",
+        "_ord",
+        "_segn",
+        "_seg_extra",
+        "_next_ord",
         "_sorted",
         "_views",
         "_conn_index",
@@ -94,6 +148,14 @@ class PacketTrace:
         self._conn: List[int] = []
         self._host: List[str] = []
         self._note: List[str] = []
+        #: Parallel column of elided flow segments (``None`` for plain rows).
+        self._seg: List[Optional[FlowSegment]] = []
+        #: Capture ordinal of each row; segment rows reserve one ordinal per
+        #: elided record so expansion can restore the eager capture order.
+        self._ord: List[int] = []
+        self._segn = 0
+        self._seg_extra = 0
+        self._next_ord = 0
         self._sorted = True
         self._views: Optional[List[Packet]] = None
         self._conn_index: Optional[Dict[int, List[int]]] = None
@@ -121,6 +183,9 @@ class PacketTrace:
         self._conn.append(packet.connection_id)
         self._host.append(packet.hostname)
         self._note.append(packet.note)
+        self._seg.append(None)
+        self._ord.append(self._next_ord)
+        self._next_ord += 1
         self._views = None
         self._conn_index = None
         self._host_index = None
@@ -156,12 +221,53 @@ class PacketTrace:
         self._conn.extend(repeat(batch.connection_id, count))
         self._host.extend(repeat(batch.hostname, count))
         self._note.extend(repeat(batch.note, count))
+        self._seg.extend(repeat(None, count))
+        self._ord.extend(range(self._next_ord, self._next_ord + count))
+        self._next_ord += count
+        self._views = None
+        self._conn_index = None
+        self._host_index = None
+
+    def extend_flow(self, segment: FlowSegment) -> None:
+        """Append an elided bulk-transfer segment as a single trace row.
+
+        The row's timestamp is the segment's first elided record's; the
+        payload/header cells hold the exact aggregate byte totals of the
+        whole elided range, so byte sums over the columns stay exact without
+        expansion.  The segment reserves one capture ordinal per elided
+        record, preserving the eager capture order for later expansion.
+        """
+        count = segment.record_count
+        if count == 0:
+            return
+        first_ts = segment.first_timestamp
+        if self._sorted and self._ts and first_ts < self._ts[-1]:
+            self._sorted = False
+        self._ts.append(first_ts)
+        self._src.append(segment.src)
+        self._dst.append(segment.dst)
+        self._sport.append(segment.src_port)
+        self._dport.append(segment.dst_port)
+        self._dir.append(segment.direction)
+        self._flags.append(segment.flags)
+        self._payload.append(segment.payload_bytes)
+        self._headers.append(segment.header_bytes)
+        self._proto.append(segment.protocol)
+        self._conn.append(segment.connection_id)
+        self._host.append(segment.hostname)
+        self._note.append(segment.note)
+        self._seg.append(segment)
+        self._ord.append(self._next_ord)
+        self._next_ord += count
+        self._segn += 1
+        self._seg_extra += count - 1
         self._views = None
         self._conn_index = None
         self._host_index = None
 
     def __len__(self) -> int:
-        return len(self._ts)
+        """Logical packet count (elided segments count every record)."""
+        return len(self._ts) + self._seg_extra
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets)
@@ -173,6 +279,7 @@ class PacketTrace:
     def packets(self) -> Sequence[Packet]:
         """Packets sorted by capture timestamp (lazily materialized views)."""
         if self._views is None:
+            self._materialize()
             self._ensure_sorted()
             self._views = [
                 Packet(
@@ -226,14 +333,101 @@ class PacketTrace:
         """True when no packets were captured."""
         return not self._ts
 
+    def has_segments(self) -> bool:
+        """True while the trace still holds unexpanded flow segments."""
+        return self._segn > 0
+
     # ------------------------------------------------------------------ #
     # Columnar internals
     # ------------------------------------------------------------------ #
+    def _materialize(self) -> None:
+        """Expand every flow segment into plain packet rows, in eager order.
+
+        Expansion reruns the canonical burst loop per segment (bit-identical
+        floats and byte counts) and sorts all rows by ``(timestamp, capture
+        ordinal)`` — exactly the stable-by-timestamp order the eager
+        per-record emission would have produced.
+        """
+        if self._segn == 0:
+            return
+        ts: List[float] = []
+        src: List[str] = []
+        dst: List[str] = []
+        sport: List[int] = []
+        dport: List[int] = []
+        dirs: List[PacketDirection] = []
+        flags: List[object] = []
+        payload: List[int] = []
+        headers: List[int] = []
+        proto: List[str] = []
+        conn: List[int] = []
+        host: List[str] = []
+        note: List[str] = []
+        ords: List[int] = []
+        for pos, segment in enumerate(self._seg):
+            if segment is None:
+                ts.append(self._ts[pos])
+                src.append(self._src[pos])
+                dst.append(self._dst[pos])
+                sport.append(self._sport[pos])
+                dport.append(self._dport[pos])
+                dirs.append(self._dir[pos])
+                flags.append(self._flags[pos])
+                payload.append(self._payload[pos])
+                headers.append(self._headers[pos])
+                proto.append(self._proto[pos])
+                conn.append(self._conn[pos])
+                host.append(self._host[pos])
+                note.append(self._note[pos])
+                ords.append(self._ord[pos])
+            else:
+                seg_ts, seg_payload, seg_headers = segment.expand_columns()
+                count = len(seg_ts)
+                ts.extend(seg_ts)
+                payload.extend(seg_payload)
+                headers.extend(seg_headers)
+                src.extend(repeat(segment.src, count))
+                dst.extend(repeat(segment.dst, count))
+                sport.extend(repeat(segment.src_port, count))
+                dport.extend(repeat(segment.dst_port, count))
+                dirs.extend(repeat(segment.direction, count))
+                flags.extend(repeat(segment.flags, count))
+                proto.extend(repeat(segment.protocol, count))
+                conn.extend(repeat(segment.connection_id, count))
+                host.extend(repeat(segment.hostname, count))
+                note.extend(repeat(segment.note, count))
+                base = self._ord[pos]
+                ords.extend(range(base, base + count))
+        order = sorted(range(len(ts)), key=lambda i: (ts[i], ords[i]))
+        self._ts = [ts[i] for i in order]
+        self._src = [src[i] for i in order]
+        self._dst = [dst[i] for i in order]
+        self._sport = [sport[i] for i in order]
+        self._dport = [dport[i] for i in order]
+        self._dir = [dirs[i] for i in order]
+        self._flags = [flags[i] for i in order]
+        self._payload = [payload[i] for i in order]
+        self._headers = [headers[i] for i in order]
+        self._proto = [proto[i] for i in order]
+        self._conn = [conn[i] for i in order]
+        self._host = [host[i] for i in order]
+        self._note = [note[i] for i in order]
+        self._seg = [None] * len(order)
+        self._ord = [ords[i] for i in order]
+        self._segn = 0
+        self._seg_extra = 0
+        self._sorted = True
+        self._views = None
+        self._conn_index = None
+        self._host_index = None
+
     def _ensure_sorted(self) -> None:
         if self._sorted:
             return
-        order = sorted(range(len(self._ts)), key=self._ts.__getitem__)
-        self._ts = [self._ts[i] for i in order]
+        ts = self._ts
+        ordinals = self._ord
+        order = sorted(range(len(ts)), key=lambda i: (ts[i], ordinals[i]))
+        self._ts = [ts[i] for i in order]
         self._src = [self._src[i] for i in order]
         self._dst = [self._dst[i] for i in order]
         self._sport = [self._sport[i] for i in order]
@@ -246,13 +440,20 @@ class PacketTrace:
         self._conn = [self._conn[i] for i in order]
         self._host = [self._host[i] for i in order]
         self._note = [self._note[i] for i in order]
+        self._seg = [self._seg[i] for i in order]
+        self._ord = [ordinals[i] for i in order]
         self._sorted = True
         self._views = None
         self._conn_index = None
         self._host_index = None
 
     def sorted_columns(self) -> TraceColumns:
-        """The trace as parallel columns, sorted by timestamp."""
+        """The trace as parallel per-packet columns, sorted by timestamp.
+
+        Forces flow-segment expansion: every elided record becomes its own
+        row, exactly as eager emission would have captured it.
+        """
+        self._materialize()
         self._ensure_sorted()
         return TraceColumns(
             self._ts,
@@ -270,6 +471,61 @@ class PacketTrace:
             self._note,
         )
 
+    def segment_columns(self) -> TraceColumns:
+        """The trace rows as columns *without* expanding flow segments.
+
+        Elided segments appear as one row each: the timestamp is the first
+        elided record's and the payload/header cells are the exact aggregate
+        totals of the range.  Aggregate analyses (flag counts, per-host byte
+        sums, SYN series) read these columns so the default campaign never
+        materializes bulk packets.  Per-packet fields of an elided row
+        describe the range, not an individual packet — use
+        :meth:`sorted_columns` when record granularity matters.
+        """
+        self._ensure_sorted()
+        return TraceColumns(
+            self._ts,
+            self._src,
+            self._dst,
+            self._sport,
+            self._dport,
+            self._dir,
+            self._flags,
+            self._payload,
+            self._headers,
+            self._proto,
+            self._conn,
+            self._host,
+            self._note,
+        )
+
+    def _blank(self) -> "PacketTrace":
+        """A new empty trace sharing this trace's ordinal horizon."""
+        trace = PacketTrace.__new__(PacketTrace)
+        trace._ts = []
+        trace._src = []
+        trace._dst = []
+        trace._sport = []
+        trace._dport = []
+        trace._dir = []
+        trace._flags = []
+        trace._payload = []
+        trace._headers = []
+        trace._proto = []
+        trace._conn = []
+        trace._host = []
+        trace._note = []
+        trace._seg = []
+        trace._ord = []
+        trace._segn = 0
+        trace._seg_extra = 0
+        trace._next_ord = self._next_ord
+        trace._sorted = True
+        trace._views = None
+        trace._conn_index = None
+        trace._host_index = None
+        return trace
+
     def _slice(self, lo: int, hi: int) -> "PacketTrace":
         """A new trace from a contiguous range of the sorted columns."""
         trace = PacketTrace.__new__(PacketTrace)
@@ -286,6 +542,16 @@ class PacketTrace:
         trace._conn = self._conn[lo:hi]
         trace._host = self._host[lo:hi]
         trace._note = self._note[lo:hi]
+        trace._seg = self._seg[lo:hi]
+        trace._ord = self._ord[lo:hi]
+        trace._segn = 0
+        trace._seg_extra = 0
+        if self._segn:
+            for segment in trace._seg:
+                if segment is not None:
+                    trace._segn += 1
+                    trace._seg_extra += segment.record_count - 1
+        trace._next_ord = self._next_ord
         trace._sorted = True
         trace._views = None
         trace._conn_index = None
@@ -317,6 +583,16 @@ class PacketTrace:
         trace._conn = list(map(self._conn.__getitem__, indices))
         trace._host = list(map(self._host.__getitem__, indices))
         trace._note = list(map(self._note.__getitem__, indices))
+        trace._seg = list(map(self._seg.__getitem__, indices))
+        trace._ord = list(map(self._ord.__getitem__, indices))
+        trace._segn = 0
+        trace._seg_extra = 0
+        if self._segn:
+            for segment in trace._seg:
+                if segment is not None:
+                    trace._segn += 1
+                    trace._seg_extra += segment.record_count - 1
+        trace._next_ord = self._next_ord
         trace._sorted = True
         trace._views = None
         trace._conn_index = None
@@ -354,18 +630,101 @@ class PacketTrace:
     # ------------------------------------------------------------------ #
     def filter(self, predicate: Callable[[Packet], bool]) -> "PacketTrace":
         """Return a new trace containing the packets matching ``predicate``."""
+        self._materialize()
         self._ensure_sorted()
         return self._select([index for index, packet in enumerate(self.packets) if predicate(packet)])
 
+    def _append_segment_row(self, trace: "PacketTrace", segment: FlowSegment, ordinal: int) -> None:
+        """Append ``segment`` to ``trace`` as one elided row."""
+        trace._ts.append(segment.first_timestamp)
+        trace._src.append(segment.src)
+        trace._dst.append(segment.dst)
+        trace._sport.append(segment.src_port)
+        trace._dport.append(segment.dst_port)
+        trace._dir.append(segment.direction)
+        trace._flags.append(segment.flags)
+        trace._payload.append(segment.payload_bytes)
+        trace._headers.append(segment.header_bytes)
+        trace._proto.append(segment.protocol)
+        trace._conn.append(segment.connection_id)
+        trace._host.append(segment.hostname)
+        trace._note.append(segment.note)
+        trace._seg.append(segment)
+        trace._ord.append(ordinal)
+        trace._segn += 1
+        trace._seg_extra += segment.record_count - 1
+
+    def _copy_row(self, trace: "PacketTrace", pos: int) -> None:
+        """Append row ``pos`` of this trace to ``trace`` unchanged."""
+        trace._ts.append(self._ts[pos])
+        trace._src.append(self._src[pos])
+        trace._dst.append(self._dst[pos])
+        trace._sport.append(self._sport[pos])
+        trace._dport.append(self._dport[pos])
+        trace._dir.append(self._dir[pos])
+        trace._flags.append(self._flags[pos])
+        trace._payload.append(self._payload[pos])
+        trace._headers.append(self._headers[pos])
+        trace._proto.append(self._proto[pos])
+        trace._conn.append(self._conn[pos])
+        trace._host.append(self._host[pos])
+        trace._note.append(self._note[pos])
+        segment = self._seg[pos]
+        trace._seg.append(segment)
+        trace._ord.append(self._ord[pos])
+        if segment is not None:
+            trace._segn += 1
+            trace._seg_extra += segment.record_count - 1
+
+    def _window(self, start: float, end: float) -> "PacketTrace":
+        """Rows whose packets fall in ``[start, end]``, segments preserved.
+
+        A segment row's column timestamp is its *first* record's, so plain
+        bisection misses segments that start before the window but extend
+        into it; those straddlers (and in-window segments reaching past the
+        end) are narrowed with :meth:`FlowSegment.subrange` — still elided,
+        with ordinals shifted so later expansion keeps the eager order.
+        """
+        self._ensure_sorted()
+        lo = bisect_left(self._ts, start)
+        hi = bisect_right(self._ts, end)
+        if self._segn == 0:
+            return self._slice(lo, hi)
+        trace = self._blank()
+        straddled = False
+        for pos in range(lo):
+            segment = self._seg[pos]
+            if segment is None or segment.last_timestamp < start:
+                continue
+            first = _first_record_at_or_after(segment, start)
+            last = _first_record_after(segment, end)
+            if last <= first:
+                continue
+            shift = first - segment.first_record
+            self._append_segment_row(trace, segment.subrange(first, last), self._ord[pos] + shift)
+            straddled = True
+        for pos in range(lo, hi):
+            segment = self._seg[pos]
+            if segment is None or segment.last_timestamp <= end:
+                self._copy_row(trace, pos)
+                continue
+            last = _first_record_after(segment, end)
+            if last <= segment.first_record:
+                continue
+            self._append_segment_row(trace, segment.subrange(segment.first_record, last), self._ord[pos])
+        trace._sorted = not straddled
+        return trace
+
     def between(self, start: float, end: float) -> "PacketTrace":
         """Packets with ``start <= timestamp <= end``."""
-        self._ensure_sorted()
-        return self._slice(bisect_left(self._ts, start), bisect_right(self._ts, end))
+        return self._window(start, end)
 
     def after(self, timestamp: float) -> "PacketTrace":
         """Packets captured at or after ``timestamp``."""
-        self._ensure_sorted()
-        return self._slice(bisect_left(self._ts, timestamp), len(self._ts))
+        if self._segn == 0:
+            self._ensure_sorted()
+            return self._slice(bisect_left(self._ts, timestamp), len(self._ts))
+        return self._window(timestamp, math.inf)
 
     def to_hosts(self, hostnames: Iterable[str]) -> "PacketTrace":
         """Packets exchanged with any of the given server DNS names."""
@@ -437,7 +796,14 @@ class PacketTrace:
         """Timestamp of the last packet, or ``None`` for an empty trace."""
         if not self._ts:
             return None
-        return self._ts[-1] if self._sorted else max(self._ts)
+        last = self._ts[-1] if self._sorted else max(self._ts)
+        if self._segn:
+            for segment in self._seg:
+                if segment is not None:
+                    end = segment.last_timestamp
+                    if end > last:
+                        last = end
+        return last
 
     def duration(self) -> float:
         """Elapsed time between the first and last packet (0 for empty traces)."""

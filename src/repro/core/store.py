@@ -332,6 +332,24 @@ class ResultStore:
                 if filename.endswith(".pkl"):
                     yield os.path.join(dirpath, filename)
 
+    def orphan_sidecars(self) -> Iterator[str]:
+        """Flight-record sidecars whose entry pickle no longer exists.
+
+        A sidecar lives and dies with its ``.pkl`` entry, but an entry can
+        disappear without its sidecar — corrupt-entry healing and racing
+        deleters unlink only the pickle.  Such orphans are unreachable (a
+        trace is only ever loaded through its entry), so :meth:`prune`
+        sweeps them.
+        """
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = sorted(name for name in dirnames if name != ".claims")
+            for filename in sorted(filenames):
+                if not filename.endswith(".trace.json"):
+                    continue
+                entry = filename[: -len(".trace.json")] + ".pkl"
+                if not os.path.exists(os.path.join(dirpath, entry)):
+                    yield os.path.join(dirpath, filename)
+
     def entries_with_meta(self) -> Iterator[StoreEntry]:
         """Every readable entry with its provenance, for store inspection.
 
@@ -372,6 +390,9 @@ class ResultStore:
         With no selector at all every entry file is removed (``cloudbench
         cache rm --all``) — including foreign-schema entries — along with
         any leftover work-stealing claim files.
+
+        Every pass also sweeps orphaned flight-record sidecars (see
+        :meth:`orphan_sidecars`), subject only to the ``older_than`` cutoff.
         """
         removed = 0
         wipe_all = stage is None and service is None and older_than is None and not schema_foreign
@@ -407,6 +428,21 @@ class ResultStore:
             try:
                 os.unlink(path[: -len(".pkl")] + ".trace.json")
             except OSError:
+                pass
+        # Orphaned sidecars (entry pickle already gone) are unreachable
+        # garbage with no identity left to match selectors against, so any
+        # GC pass sweeps them; only the TTL filter still applies.
+        for sidecar in list(self.orphan_sidecars()):
+            if older_than is not None:
+                try:
+                    if os.stat(sidecar).st_mtime > time.time() - older_than:
+                        continue
+                except OSError:  # pragma: no cover - racing deleters are fine
+                    continue
+            try:
+                os.unlink(sidecar)
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleters are fine
                 pass
         if wipe_all:
             claims = self.claims_root()

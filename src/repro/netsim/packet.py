@@ -4,9 +4,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-__all__ = ["PacketDirection", "TCPFlags", "Packet", "PacketBatch", "MSS", "TCP_IP_HEADER_BYTES"]
+__all__ = [
+    "PacketDirection",
+    "TCPFlags",
+    "Packet",
+    "PacketBatch",
+    "FlowSegment",
+    "MSS",
+    "TCP_IP_HEADER_BYTES",
+    "MAX_BURST_RECORDS",
+    "burst_record_plan",
+    "burst_range_totals",
+]
 
 #: Maximum segment size used by the simulated TCP stacks (Ethernet MTU 1500
 #: minus 40 bytes of TCP/IP headers).
@@ -14,6 +25,44 @@ MSS = 1460
 
 #: Combined IPv4 + TCP header size without options, charged to every packet.
 TCP_IP_HEADER_BYTES = 40
+
+#: Cap on the number of data-packet records per transfer burst; larger
+#: transfers coalesce several MSS segments into one record while keeping
+#: byte accounting exact.  (Historically lived in ``netsim.tcp``; the burst
+#: math is shared with flow-segment expansion, so the constant lives here.)
+MAX_BURST_RECORDS = 2048
+
+
+def burst_record_plan(nbytes: int) -> Tuple[int, int]:
+    """``(segments, records)`` of the canonical data burst for ``nbytes``.
+
+    ``segments`` is the number of MSS-sized TCP segments the transfer needs;
+    ``records`` is how many packet records the burst emits (segments, capped
+    at :data:`MAX_BURST_RECORDS` with several segments folded per record).
+    """
+    segments = -(-nbytes // MSS)
+    return segments, min(segments, MAX_BURST_RECORDS)
+
+
+def burst_range_totals(nbytes: int, segments: int, records: int, first: int, last: int) -> Tuple[int, int, int]:
+    """Closed-form ``(seg_count, payload_bytes, header_bytes)`` of burst records ``[first, last)``.
+
+    The canonical burst loop (see ``TCPConnection._emit_data``) walks record
+    boundaries ``int(round((index + 1) * segments / records))``; those
+    telescope, so any contiguous record range's totals follow without the
+    loop.  The per-record payload is ``seg_count * MSS`` except for the final
+    record, which carries whatever remains of ``nbytes`` — results are
+    bit-identical to summing the loop's emissions.
+    """
+    segs_per_record = segments / records
+    b_first = int(round(first * segs_per_record))
+    b_last = int(round(last * segs_per_record))
+    seg_count = b_last - b_first
+    if last >= records:
+        payload = nbytes - b_first * MSS
+    else:
+        payload = seg_count * MSS
+    return seg_count, payload, TCP_IP_HEADER_BYTES * seg_count
 
 
 class PacketDirection(str, enum.Enum):
@@ -182,3 +231,152 @@ class PacketBatch:
                 self.timestamps, self.payload_lens, self.headers_lens
             )
         ]
+
+
+@dataclass(frozen=True)
+class FlowSegment:
+    """A flow-level record standing in for an elided run of data packets.
+
+    Steady-state burst records differ only in timestamp and byte counts, and
+    both are pure functions of the burst parameters — so instead of 2000+
+    packet records the emission fast path ships one segment carrying those
+    parameters plus exact aggregate byte totals.  Consumers that only need
+    aggregates (byte sums, first/last timestamps, per-host volumes) read the
+    segment directly; per-packet consumers call :meth:`expand_columns`,
+    which reruns the canonical burst loop and is bit-identical to the eager
+    per-record emission it elides.
+
+    ``first_record``/``last_record`` delimit the elided half-open record
+    range of the burst; trace window filters narrow segments with
+    :meth:`subrange` instead of materializing packets.
+    """
+
+    #: Burst start time and time span (``max(end - start, 0)``).
+    start: float
+    span: float
+    #: Payload bytes, MSS segments and packet records of the *whole* burst.
+    nbytes: int
+    segments: int
+    records: int
+    #: Half-open record range ``[first_record, last_record)`` this segment elides.
+    first_record: int
+    last_record: int
+    #: Exact aggregate byte totals of the elided range.
+    payload_bytes: int
+    header_bytes: int
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    direction: PacketDirection
+    flags: TCPFlags = TCPFlags.NONE
+    protocol: str = "TCP"
+    connection_id: int = 0
+    hostname: str = ""
+    note: str = ""
+
+    @property
+    def record_count(self) -> int:
+        """Number of packet records this segment stands for."""
+        return self.last_record - self.first_record
+
+    def record_timestamp(self, index: int) -> float:
+        """Capture timestamp of burst record ``index`` (the loop's expression)."""
+        return self.start + self.span * (index + 1) / self.records
+
+    @property
+    def first_timestamp(self) -> float:
+        """Timestamp of the segment's first elided record."""
+        return self.record_timestamp(self.first_record)
+
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the segment's last elided record."""
+        return self.record_timestamp(self.last_record - 1)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire (headers + payload) across the range."""
+        return self.payload_bytes + self.header_bytes
+
+    def record_timestamps(self) -> List[float]:
+        """Timestamps of every elided record, in record order."""
+        start, span, records = self.start, self.span, self.records
+        return [start + span * (index + 1) / records for index in range(self.first_record, self.last_record)]
+
+    def subrange(self, first: int, last: int) -> "FlowSegment":
+        """The sub-segment covering records ``[first, last)`` of the burst."""
+        _, payload, headers = burst_range_totals(self.nbytes, self.segments, self.records, first, last)
+        return FlowSegment(
+            start=self.start,
+            span=self.span,
+            nbytes=self.nbytes,
+            segments=self.segments,
+            records=self.records,
+            first_record=first,
+            last_record=last,
+            payload_bytes=payload,
+            header_bytes=headers,
+            src=self.src,
+            dst=self.dst,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            direction=self.direction,
+            flags=self.flags,
+            protocol=self.protocol,
+            connection_id=self.connection_id,
+            hostname=self.hostname,
+            note=self.note,
+        )
+
+    def expand_columns(self) -> Tuple[List[float], List[int], List[int]]:
+        """Materialize ``(timestamps, payload_lens, headers_lens)`` of the range.
+
+        Reruns the canonical burst loop verbatim over the whole burst and
+        keeps the elided records, so every float and byte count is identical
+        to what the eager per-record emission would have produced.
+        """
+        segs_per_record = self.segments / self.records
+        remaining = self.nbytes
+        boundary = 0
+        first, last = self.first_record, self.last_record
+        start, span, records = self.start, self.span, self.records
+        timestamps: List[float] = []
+        payloads: List[int] = []
+        headers: List[int] = []
+        for index in range(records):
+            next_boundary = int(round((index + 1) * segs_per_record))
+            seg_count = max(next_boundary - boundary, 1)
+            boundary = next_boundary
+            payload = min(remaining, seg_count * MSS)
+            if payload <= 0:
+                break
+            remaining -= payload
+            if first <= index < last:
+                timestamps.append(start + span * (index + 1) / records)
+                payloads.append(payload)
+                headers.append(TCP_IP_HEADER_BYTES * seg_count)
+        return timestamps, payloads, headers
+
+    def batch(self) -> PacketBatch:
+        """Materialize the elided range as a :class:`PacketBatch`."""
+        timestamps, payloads, headers = self.expand_columns()
+        return PacketBatch(
+            timestamps,
+            payloads,
+            headers,
+            src=self.src,
+            dst=self.dst,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            direction=self.direction,
+            flags=self.flags,
+            protocol=self.protocol,
+            connection_id=self.connection_id,
+            hostname=self.hostname,
+            note=self.note,
+        )
+
+    def packets(self) -> List[Packet]:
+        """Materialize the elided range as :class:`Packet` records."""
+        return self.batch().packets()

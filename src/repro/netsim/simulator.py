@@ -9,7 +9,7 @@ from repro.netsim.clock import SimClock
 from repro.netsim.endpoint import CLIENT_ENDPOINT, Endpoint
 from repro.netsim.events import EventQueue, ScheduledEvent
 from repro.netsim.link import NetworkPath
-from repro.netsim.packet import Packet, PacketBatch
+from repro.netsim.packet import FlowSegment, Packet, PacketBatch
 from repro.netsim.tcp import TCPConnection
 from repro.netsim.tls import TLSParameters
 from repro.obs.tracer import current_tracer
@@ -181,3 +181,30 @@ class NetworkSimulator:
                     materialized = batch.packets()
                 for packet in materialized:
                     sniffer(packet)
+
+    def emit_flow(self, segment: FlowSegment) -> None:
+        """Deliver an elided flow segment whole to every sniffer.
+
+        Flow-aware sniffers (anything exposing ``accept_flow``) receive the
+        segment itself; batch-aware and plain per-packet sniffers get the
+        segment expanded once — the packet counter stays coherent either way
+        because it is derived from the segment's record count.
+        """
+        if self.tracer.enabled:
+            self.tracer.count("netsim.packets", segment.record_count)
+            self.tracer.count("netsim.wire_bytes", segment.payload_bytes + segment.header_bytes)
+            self.tracer.count("netsim.flow_segments")
+        materialized = None
+        for sniffer in self._sniffers:
+            accept = getattr(sniffer, "accept_flow", None)
+            if accept is not None:
+                accept(segment)
+                continue
+            accept_batch = getattr(sniffer, "accept_batch", None)
+            if accept_batch is not None:
+                accept_batch(segment.batch())
+                continue
+            if materialized is None:
+                materialized = segment.packets()
+            for packet in materialized:
+                sniffer(packet)

@@ -89,6 +89,41 @@ def bench_sniffer(packets: int, repeats: int) -> BenchmarkResult:
     )
 
 
+def bench_flow_segments(segments: int, repeats: int) -> BenchmarkResult:
+    """Flow segments/second through elided emission and capture.
+
+    Each ``_emit_data`` call is large enough to take the flow-elision fast
+    path, so one call emits a handful of head/tail packet rows plus exactly
+    one :class:`~repro.netsim.packet.FlowSegment`; the rate counts the
+    segments (i.e. the elided bursts) the sniffer absorbs per second.
+    """
+    from repro.netsim.tcp import set_flow_elision
+
+    def make_workload():
+        _, _, connection = _bench_connection()
+
+        def workload() -> None:
+            previous = set_flow_elision(True)
+            try:
+                emit = connection._emit_data
+                for _ in range(segments):
+                    emit(0.0, 1.0, _RECORDS_PER_BURST * 1460, PacketDirection.OUT, note="bench")
+            finally:
+                set_flow_elision(previous)
+
+        return workload
+
+    measured = measure_rate(make_workload, segments, repeats)
+    return BenchmarkResult(
+        name="flow_segments_per_s",
+        unit="segments/s",
+        higher_is_better=True,
+        params={"segments": segments, "records_per_segment": _RECORDS_PER_BURST},
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
 def bench_trace_queries(packets: int, rounds: int, repeats: int) -> BenchmarkResult:
     """Filter queries/second against a captured trace (bisect + index maps)."""
     bursts = max(1, packets // _RECORDS_PER_BURST)
@@ -270,6 +305,7 @@ def run_benchmarks(
     services = list(services) if services is not None else list(SERVICE_NAMES)
     results = [
         bench_sniffer(200_000, repeats),
+        bench_flow_segments(5_000, repeats),
         bench_trace_queries(50_000, 50, repeats),
         bench_transfers(2_000, repeats),
         bench_events(100_000, repeats),

@@ -133,18 +133,26 @@ def _rolling_weak_checksums(data: np.ndarray, block_size: int) -> np.ndarray:
     window = block_size
     count = length - window + 1
     if count <= 0:
-        return np.empty(0, dtype=np.int64)
-    values = data.astype(np.int64)
-    prefix = np.concatenate(([0], np.cumsum(values)))
-    weighted = np.concatenate(([0], np.cumsum(values * np.arange(length, dtype=np.int64))))
-    starts = np.arange(count, dtype=np.int64)
-    window_sums = prefix[starts + window] - prefix[starts]
-    window_weighted = weighted[starts + window] - weighted[starts]
+        return np.empty(0, dtype=np.uint32)
+    # All arithmetic runs in uint32: every intermediate is only ever needed
+    # modulo _ADLER_MOD (2**16), which divides 2**32, so the natural wrap of
+    # 32-bit cumsums/products leaves the final residues exact — and halving
+    # the element width halves the memory traffic of the cumsum pass, which
+    # dominates this function for multi-megabyte revisions.
+    values = data.astype(np.uint32)
+    zero = np.zeros(1, dtype=np.uint32)
+    prefix = np.concatenate((zero, np.cumsum(values, dtype=np.uint32)))
+    weighted = np.concatenate(
+        (zero, np.cumsum(values * np.arange(length, dtype=np.uint32), dtype=np.uint32))
+    )
+    window_sums = prefix[window:window + count] - prefix[:count]
+    window_weighted = weighted[window:window + count] - weighted[:count]
     # b(k) = sum_{i=k}^{k+L-1} (L - (i - k)) * data[i]
     #      = (L + k) * window_sum - window_weighted
-    b = ((starts + window) * window_sums - window_weighted) % _ADLER_MOD
-    a = window_sums % _ADLER_MOD
-    return (b << 16) | a
+    ends = np.arange(window, window + count, dtype=np.uint32)
+    b = (ends * window_sums - window_weighted) % np.uint32(_ADLER_MOD)
+    a = window_sums % np.uint32(_ADLER_MOD)
+    return (b << np.uint32(16)) | a
 
 
 class DeltaCodec:
@@ -187,9 +195,25 @@ class DeltaCodec:
 
         data = np.frombuffer(new, dtype=np.uint8)
         weak_all = _rolling_weak_checksums(data, block_size)
-        known_weak = np.fromiter(strong_by_weak.keys(), dtype=np.int64, count=len(strong_by_weak))
-        candidate_mask = np.isin(weak_all, known_weak)
-        candidate_positions = np.nonzero(candidate_mask)[0]
+        known_weak = np.fromiter(strong_by_weak.keys(), dtype=np.uint32, count=len(strong_by_weak))
+        # Membership test for every rolling checksum against the (small)
+        # signature set.  np.isin sorts the multi-megabyte rolling array and
+        # dominated the delta profile; instead, prefilter on the checksum's
+        # low 16 bits through a 64K lookup table — for random content ~1% of
+        # windows survive — then confirm survivors by binary search against
+        # the sorted signature values.  The resulting positions are
+        # identical to what the full membership test produces.
+        known_weak.sort()
+        low_table = np.zeros(_ADLER_MOD, dtype=bool)
+        low_table[known_weak & np.uint32(0xFFFF)] = True
+        rough_positions = np.nonzero(low_table[weak_all & np.uint32(0xFFFF)])[0]
+        if rough_positions.size:
+            rough_values = weak_all[rough_positions]
+            nearest = np.searchsorted(known_weak, rough_values)
+            nearest[nearest == known_weak.size] = known_weak.size - 1
+            candidate_positions = rough_positions[known_weak[nearest] == rough_values]
+        else:
+            candidate_positions = rough_positions
 
         ops: List[DeltaOp] = []
         literal_start = 0

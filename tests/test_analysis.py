@@ -200,6 +200,33 @@ class TestSetIteration:
         assert lint_source(snippet) == []
 
 
+class TestNumpyGlobalRandom:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nnp.random.seed(7)\n",
+            "import numpy as np\nnoise = np.random.rand(10)\n",
+            "import numpy as np\npick = np.random.choice(items)\n",
+            "import numpy\nnumpy.random.shuffle(values)\n",
+            "from numpy.random import randint\n",
+        ],
+    )
+    def test_numpy_global_random_flagged(self, snippet):
+        assert rule_ids(lint_source(snippet)) == ["DET006"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "import numpy as np\ngen = np.random.Generator(np.random.PCG64(7))\n",
+            "from numpy.random import MT19937\n",
+            "from numpy.random import default_rng\n",
+        ],
+    )
+    def test_instance_based_constructs_are_clean(self, snippet):
+        assert lint_source(snippet) == []
+
+
 CONFIG_FIXTURE = """
 from dataclasses import dataclass
 
@@ -388,7 +415,9 @@ class TestEngineBasics:
 
     def test_rule_catalogue_lists_every_rule(self):
         catalogue = rule_catalogue()
-        assert sorted(catalogue) == ["DET001", "DET002", "DET003", "DET004", "DET005", "PUR001"]
+        assert sorted(catalogue) == [
+            "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "PUR001",
+        ]
 
 
 def minimal_service(capabilities=None, **extras):

@@ -51,6 +51,7 @@ class TestBenchmarkDocument:
         metrics = document["metrics"]
         assert set(metrics) == {
             "sniffer_packets_per_s",
+            "flow_segments_per_s",
             "trace_queries_per_s",
             "tcp_transfers_per_s",
             "event_queue_events_per_s",
@@ -198,6 +199,28 @@ class TestBenchCli:
         captured = capsys.readouterr()
         assert "PERFORMANCE REGRESSION" in captured.err
         assert "sniffer_packets_per_s" in captured.err
+
+    def test_repeats_flag_is_recorded_per_metric(self, tmp_path):
+        # `cloudbench bench --repeats N` must land in every micro metric's
+        # document entry: N timed samples, `repeats` == N.  (The campaign
+        # macro-benchmark is single-shot by design and skipped here.)
+        path = str(tmp_path / "bench.json")
+        code = main(["bench", "--quick", "--skip-campaign", "--repeats", "2", "--json", path])
+        assert code == 0
+        document = load_document(path)
+        assert document["metrics"], "bench run must produce metrics"
+        for name, entry in document["metrics"].items():
+            assert entry["repeats"] == 2, name
+            assert len(entry["samples"]) == 2, name
+
+    def test_flow_segments_metric_present(self, tmp_path):
+        results = run_benchmarks(**TINY)
+        by_name = {result.name: result for result in results}
+        assert "flow_segments_per_s" in by_name
+        metric = by_name["flow_segments_per_s"]
+        assert metric.unit == "segments/s"
+        assert metric.higher_is_better
+        assert metric.value > 0
 
     def test_compare_skips_full_baseline_for_quick_run(self, tmp_path):
         # A full-suite baseline has different workload params: a quick run

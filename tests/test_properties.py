@@ -251,3 +251,98 @@ class TestBatchedEmissionEquivalence:
         assert batched.uploaded_payload_bytes() == replayed.uploaded_payload_bytes()
         assert analysis.count_tcp_syns(batched) == analysis.count_tcp_syns(replayed)
         assert analysis.burst_payload_sizes(batched) == analysis.burst_payload_sizes(replayed)
+
+
+class TestFlowElisionEquivalence:
+    """Elided capture, lazily materialized, must be bit-identical to eager.
+
+    The flow fast path stores bulk-transfer bursts as one
+    :class:`~repro.netsim.packet.FlowSegment` row and only expands it when a
+    per-packet query forces it.  Every field of the expanded trace — exact
+    float timestamps included — must equal what eager per-record emission
+    produces, across sizes, RTTs, rates and request/response mixes;
+    otherwise the byte-identity contract of the results documents breaks.
+    """
+
+    @staticmethod
+    def _run_workload(elide: bool, transfers, rtt, up_mbps, down_mbps):
+        from repro.capture.sniffer import Sniffer
+        from repro.netsim.endpoint import Endpoint
+        from repro.netsim.simulator import NetworkSimulator
+        from repro.netsim.tcp import set_flow_elision
+
+        path = NetworkPath(rtt=rtt, uplink_bps=mbps(up_mbps), downlink_bps=mbps(down_mbps))
+        previous = set_flow_elision(elide)
+        try:
+            simulator = NetworkSimulator()
+            sniffer = Sniffer(simulator)
+            connection = simulator.open_connection(
+                Endpoint("h.example", "192.0.2.5", 443), path
+            )
+            for up_bytes, down_bytes in transfers:
+                connection.request(up_bytes, down_bytes, note="prop")
+            connection.close()
+        finally:
+            set_flow_elision(previous)
+        return sniffer.trace
+
+    transfer_lists = st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3_000_000),
+            st.integers(min_value=1, max_value=500_000),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(
+        transfers=transfer_lists,
+        rtt=st.floats(min_value=0.001, max_value=0.3),
+        up_mbps=st.floats(min_value=0.5, max_value=100.0),
+        down_mbps=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lazy_expansion_is_field_identical(self, transfers, rtt, up_mbps, down_mbps):
+        elided = self._run_workload(True, transfers, rtt, up_mbps, down_mbps)
+        eager = self._run_workload(False, transfers, rtt, up_mbps, down_mbps)
+        assert len(elided) == len(eager)
+        # Column-by-column, field-by-field, exact — including float
+        # timestamps (== on floats, no tolerance).
+        assert elided.sorted_columns() == eager.sorted_columns()
+
+    @given(
+        transfers=transfer_lists,
+        rtt=st.floats(min_value=0.001, max_value=0.2),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_windowed_views_are_field_identical(self, transfers, rtt, cut):
+        elided = self._run_workload(True, transfers, rtt, 50.0, 100.0)
+        eager = self._run_workload(False, transfers, rtt, 50.0, 100.0)
+        first = eager.first_timestamp() or 0.0
+        last = eager.last_timestamp() or 0.0
+        # A window whose edges land mid-segment exercises subrange trimming.
+        edge = first + (last - first) * cut
+        for window_elided, window_eager in (
+            (elided.between(edge, last), eager.between(edge, last)),
+            (elided.between(first, edge), eager.between(first, edge)),
+            (elided.after(edge), eager.after(edge)),
+        ):
+            assert len(window_elided) == len(window_eager)
+            assert window_elided.sorted_columns() == window_eager.sorted_columns()
+
+    @given(transfers=transfer_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_aggregates_agree_without_materialization(self, transfers):
+        elided = self._run_workload(True, transfers, 0.02, 50.0, 100.0)
+        eager = self._run_workload(False, transfers, 0.02, 50.0, 100.0)
+        # Aggregate paths read the segment rows directly — no expansion.
+        assert elided.total_bytes() == eager.total_bytes()
+        assert elided.payload_bytes() == eager.payload_bytes()
+        assert elided.uploaded_payload_bytes() == eager.uploaded_payload_bytes()
+        assert elided.first_timestamp() == eager.first_timestamp()
+        assert elided.last_timestamp() == eager.last_timestamp()
+        assert analysis.count_tcp_syns(elided) == analysis.count_tcp_syns(eager)
+        assert analysis.syn_time_series(elided) == analysis.syn_time_series(eager)
+        assert analysis.classify_hosts(elided) == analysis.classify_hosts(eager)
+        assert not elided.has_segments() or elided.segment_columns() is not None

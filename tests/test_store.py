@@ -271,6 +271,49 @@ class TestResultStoreRoundTrip:
         assert store.prune(schema_foreign=True, older_than=3600.0) == 0
         assert os.path.exists(path)  # untouched: younger than the cutoff
 
+    def test_prune_sweeps_orphaned_trace_sidecars(self, tmp_path):
+        # A sidecar whose entry pickle is gone (corrupt-entry healing only
+        # unlinks the .pkl) is unreachable garbage: any prune pass removes
+        # it, even one whose selectors match no entry at all.
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        sidecar = store.trace_path_for(cell)
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        os.unlink(path)  # the entry dies, the sidecar is orphaned
+        assert list(store.orphan_sidecars()) == [sidecar]
+        assert store.prune(stage="syn_series") == 1  # selector matches nothing
+        assert not os.path.exists(sidecar)
+        assert list(store.orphan_sidecars()) == []
+
+    def test_prune_keeps_sidecars_of_live_entries(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        store.save(run_cell(cell))
+        sidecar = store.trace_path_for(cell)
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        assert store.prune(stage="syn_series") == 0
+        assert os.path.exists(sidecar)  # its entry is alive and unselected
+        assert store.prune(stage="idle") == 1
+        assert not os.path.exists(sidecar)  # died with its entry
+
+    def test_prune_orphan_sweep_honors_ttl(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cell = CampaignCell(stage="idle", service="dropbox", seed=5, config=CONFIG)
+        path = store.save(run_cell(cell))
+        sidecar = store.trace_path_for(cell)
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        os.unlink(path)
+        assert store.prune(older_than=3600.0) == 0  # fresh orphan survives a TTL pass
+        assert os.path.exists(sidecar)
+        aged = os.stat(sidecar).st_mtime - 7200.0
+        os.utime(sidecar, (aged, aged))
+        assert store.prune(older_than=3600.0) == 1
+        assert not os.path.exists(sidecar)
+
     def test_prune_all_clears_leftover_claim_files(self, tmp_path):
         store = ResultStore(str(tmp_path))
         claims = store.claims_root()
