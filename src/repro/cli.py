@@ -94,7 +94,6 @@ from repro.core.experiments.performance import PerformanceExperiment
 from repro.core.experiments.synseries import SynSeriesExperiment
 from repro.core.capabilities import CapabilityProber
 from repro.core.report import render_grouped_bars, render_table, to_csv, write_json
-from repro.core.runner import BenchmarkSuite
 from repro.core.workloads import PAPER_WORKLOADS
 from repro.dist import DEFAULT_LEASE_TIMEOUT, CampaignMerger, ShardWorker, parse_shard_spec
 from repro.errors import ConfigurationError, DistributionError
@@ -110,7 +109,7 @@ from repro.perf import (
 )
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES, register_services_from_file
-from repro.units import minutes, parse_duration, parse_seeds
+from repro.units import minutes, parse_duration, parse_populations, parse_seeds, unit_sort_key
 
 __all__ = ["main", "build_parser"]
 
@@ -213,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "seed sweep: run the campaign grid once per seed and aggregate across "
                 "seeds; accepts comma lists and inclusive ranges, e.g. '7,8,10..12' "
                 "(default: the single --seed)"
+            ),
+        )
+        sub.add_argument(
+            "--populations",
+            default=None,
+            help=(
+                "population sizes the `load` stage plans one cell per, e.g. "
+                "'1k,10k,100k' or '500,1M' (default: 1k,10k)"
+            ),
+        )
+        sub.add_argument(
+            "--rep-cells",
+            dest="rep_cells",
+            action="store_true",
+            help=(
+                "plan one performance cell per repetition (upload#r0, upload#r1, ...) "
+                "instead of one per workload: finer shards and per-repetition caching, "
+                "bit-identical merged results"
             ),
         )
         sub.add_argument(
@@ -553,6 +570,9 @@ def _campaign_runner(
     pass it through instead of parsing twice.
     """
     try:
+        config_kwargs = {}
+        if getattr(args, "populations", None) is not None:
+            config_kwargs["load_populations"] = tuple(parse_populations(args.populations))
         return CampaignRunner(
             services,
             _parse_stages(parser, args),
@@ -563,6 +583,8 @@ def _campaign_runner(
                 idle_duration=minutes(args.minutes),
                 resolver_count=args.resolvers,
                 scenario=scenario,
+                rep_cells=getattr(args, "rep_cells", False),
+                **config_kwargs,
             ),
             store=store,
             trace=trace,
@@ -576,7 +598,11 @@ def store_listing_rows(store: ResultStore) -> List[dict]:
 
     Stages sort in campaign order (unknown stages last, alphabetically), so
     two listings of equal stores are byte-identical and diffable in CI like
-    the results documents.
+    the results documents.  Units sort via
+    :func:`repro.units.unit_sort_key`: the load stage's population labels
+    compare numerically (1k < 10k < 100k < 1M, where lexical order would
+    interleave them) and per-repetition performance units by repetition
+    number.
     """
     rows = [
         {
@@ -593,7 +619,7 @@ def store_listing_rows(store: ResultStore) -> List[dict]:
         key=lambda row: (
             (STAGES.index(row["stage"]), "") if row["stage"] in STAGES else (len(STAGES), row["stage"]),
             row["service"],
-            row["unit"],
+            unit_sort_key(row["unit"]),
             row["seed"],
         )
     )
@@ -821,21 +847,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"Timings JSON written to {args.timings_json_path}")
             _write_trace_file(args.trace_path, sweep.trace)
             return _report_failures([f for campaign in sweep.campaigns for f in campaign.failures()])
-        suite = BenchmarkSuite(
-            services,
-            repetitions=args.repetitions,
-            idle_duration=minutes(args.minutes),
-            resolver_count=args.resolvers,
-            seed=seeds[0],
-            scenario=scenario,
+        # Single seed: the same runner construction as the sweep/shard/merge
+        # paths, so every plan-defining flag (--populations, --rep-cells,
+        # --repetitions, ...) addresses identical store keys everywhere.
+        store = ResultStore(cache_dir) if cache_dir is not None else None
+        runner = _campaign_runner(
+            parser, args, services, scenario, store=store, jobs=jobs,
+            seeds=[seeds[0]], trace=args.trace_path is not None,
         )
-        stages = _parse_stages(parser, args)
-        try:
-            campaign = suite.run_campaign(
-                stages, jobs=jobs, cache_dir=cache_dir, trace=args.trace_path is not None
-            )
-        except ConfigurationError as error:
-            parser.error(str(error))
+        campaign = runner.run()
         result = campaign.suite
         print(result.summary_text())
         print()

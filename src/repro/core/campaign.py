@@ -49,7 +49,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.capabilities import CapabilityMatrix, CapabilityProber
 from repro.core.experiments.compression import CONTENT_CLASSES, CompressionExperiment, CompressionExperimentResult
@@ -62,6 +62,7 @@ from repro.core.store import ResultStore
 from repro.core.workloads import PAPER_WORKLOADS, workload_by_name
 from repro.errors import ConfigurationError, UnknownServiceError
 from repro.filegen.model import FileKind
+from repro.load.population import LoadParameters, LoadStageResult, run_load_cell
 from repro.netsim.scenario import BASELINE, ScenarioSpec
 from repro.obs.recorder import campaign_trace_document, cell_flight_record, harness_record
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
@@ -72,7 +73,7 @@ from repro.services.registry import (
     install_registered_specs,
     registry_sync_payload,
 )
-from repro.units import minutes
+from repro.units import format_population, mbps, minutes, parse_population
 
 __all__ = [
     "STAGES",
@@ -156,6 +157,24 @@ class CampaignConfig:
     resolver_count: int = 500
     planetlab_count: int = 300
     scenario: ScenarioSpec = field(default_factory=lambda: BASELINE)
+    #: Population sizes the ``load`` stage plans one unit cell per (the
+    #: labels are the canonical ``1k``/``10k``/``1M`` spellings).
+    load_populations: Tuple[int, ...] = (1_000, 10_000)
+    #: Seconds the whole population is offered over — the arrival rate is
+    #: ``population / window``, so bigger populations mean heavier load.
+    load_window: float = 60.0
+    #: Arrival process: ``poisson`` or ``diurnal``.
+    load_arrival: str = "poisson"
+    #: Service-edge concurrency limit (sessions in service; the rest queue FIFO).
+    load_edge_concurrency: int = 64
+    #: Shared-link capacity in bits/s.  Infrastructure-side: deliberately
+    #: not warped by the scenario, which shapes the per-session access path.
+    load_link_capacity_bps: float = mbps(400.0)
+    #: Mean per-session transfer size in bytes (exponentially distributed).
+    load_transfer_bytes: int = 100_000
+    #: Plan one performance cell per repetition (``upload#r0`` …) instead of
+    #: one per workload — finer shards toward the paper's 24 repetitions.
+    rep_cells: bool = False
 
 
 @dataclass(frozen=True)
@@ -194,7 +213,15 @@ def _single_unit(config: CampaignConfig) -> Sequence[str]:
 
 
 def _performance_units(config: CampaignConfig) -> Sequence[str]:
-    return tuple(workload.name for workload in PAPER_WORKLOADS)
+    names = tuple(workload.name for workload in PAPER_WORKLOADS)
+    if config.rep_cells:
+        # One cell per (workload, repetition): units stay workload-major so
+        # folding in plan order reproduces run_pair's repetition loop, and
+        # the merged rows stay bit-identical to the coarse plan.
+        return tuple(
+            f"{name}#r{repetition}" for name in names for repetition in range(config.repetitions)
+        )
+    return names
 
 
 def _delta_units(config: CampaignConfig) -> Sequence[str]:
@@ -203,6 +230,16 @@ def _delta_units(config: CampaignConfig) -> Sequence[str]:
 
 def _compression_units(config: CampaignConfig) -> Sequence[str]:
     return tuple(kind.value for kind in CONTENT_CLASSES)
+
+
+def _load_units(config: CampaignConfig) -> Sequence[str]:
+    # Ascending numeric order (1k < 10k < 100k < 1M) — the plan, and
+    # therefore every table, CSV and JSON document, must never fall back
+    # to lexical ordering of the labels.
+    return tuple(
+        format_population(population)
+        for population in sorted(dict.fromkeys(config.load_populations))
+    )
 
 
 @dataclass(frozen=True)
@@ -275,7 +312,23 @@ def _run_performance(cell: CampaignCell) -> Any:
     )
     if cell.unit == WHOLE_SERVICE_UNIT:
         return experiment.run_service(cell.service)
+    name, marker, repetition = cell.unit.rpartition("#r")
+    if marker and repetition.isdigit():
+        return [experiment.run_single(cell.service, workload_by_name(name), int(repetition))]
     return experiment.run_pair(cell.service, workload_by_name(cell.unit))
+
+
+def _run_load(cell: CampaignCell) -> Any:
+    config = cell.config
+    params = LoadParameters(
+        population=parse_population(cell.unit),
+        window_s=config.load_window,
+        arrival=config.load_arrival,
+        edge_concurrency=config.load_edge_concurrency,
+        link_capacity_bps=config.load_link_capacity_bps,
+        transfer_bytes=config.load_transfer_bytes,
+    )
+    return run_load_cell(cell.service, params, seed=cell.seed, scenario=config.scenario)
 
 
 def _fold_matrix(container: CapabilityMatrix, cell: CampaignCell, payload: Any) -> None:
@@ -298,6 +351,10 @@ def _fold_runs(container: PerformanceResult, cell: CampaignCell, payload: Any) -
     container.runs.extend(payload)
 
 
+def _fold_load(container: LoadStageResult, cell: CampaignCell, payload: Any) -> None:
+    container.summaries.append(payload)
+
+
 _STAGE_SPECS: Dict[str, _StageSpec] = {
     spec.name: spec
     for spec in (
@@ -314,6 +371,7 @@ _STAGE_SPECS: Dict[str, _StageSpec] = {
             _compression_units,
         ),
         _StageSpec("performance", _run_performance, lambda payload: PerformanceResult(), _fold_runs, _performance_units),
+        _StageSpec("load", _run_load, lambda payload: LoadStageResult(), _fold_load, _load_units),
     )
 }
 

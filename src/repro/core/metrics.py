@@ -24,7 +24,13 @@ from repro.capture import analysis
 from repro.errors import CaptureError, ExperimentError
 from repro.testbed.controller import Observation
 
-__all__ = ["PerformanceMetrics", "MetricAggregate", "compute_performance_metrics", "aggregate_metrics"]
+__all__ = [
+    "PerformanceMetrics",
+    "MetricAggregate",
+    "quantile",
+    "compute_performance_metrics",
+    "aggregate_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,16 @@ def _quantile(ordered: Sequence[float], fraction: float) -> float:
         return float(ordered[lower])
     weight = position - lower
     return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def quantile(ordered: Sequence[float], fraction: float) -> float:
+    """Public alias of the linear-interpolation quantile.
+
+    The tail summaries in :mod:`repro.load.metrics` reuse this exact
+    interpolation so a p99 there and a median here are the same
+    order-statistic convention.
+    """
+    return _quantile(ordered, fraction)
 
 
 @dataclass(frozen=True)

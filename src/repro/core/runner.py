@@ -28,6 +28,7 @@ from repro.core.experiments.performance import PerformanceExperiment, Performanc
 from repro.core.experiments.synseries import SynSeriesExperiment, SynSeriesResult
 from repro.core.report import render_grouped_bars, render_table
 from repro.core.workloads import PAPER_WORKLOADS
+from repro.load.population import LoadStageResult
 from repro.netsim.scenario import BASELINE, ScenarioSpec
 from repro.randomness import DEFAULT_SEED
 from repro.services.registry import SERVICE_NAMES
@@ -47,6 +48,7 @@ class SuiteResult:
     delta: Optional[DeltaResult] = None
     compression: Optional[CompressionExperimentResult] = None
     performance: Optional[PerformanceResult] = None
+    load: Optional[LoadStageResult] = None
 
     def summary_text(self) -> str:
         """Human-readable digest of every collected artifact."""
@@ -84,6 +86,10 @@ class SuiteResult:
                     value_format="{:.3f}",
                     title="Fig. 6c — protocol overhead (fraction)",
                 )
+            )
+        if self.load is not None:
+            sections.append(
+                render_table(self.load.rows(), title="Load — open population, tail latency and fairness")
             )
         return "\n\n".join(sections)
 

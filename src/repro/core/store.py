@@ -62,8 +62,10 @@ logger = logging.getLogger(__name__)
 #: whenever either changes: every existing entry then misses and is rebuilt.
 #: (2: the key material gained the service-spec fingerprint and the
 #: scenario-bearing campaign config.  3: CellResult grew failure/trace
-#: fields — older pickles would break ``dataclasses.replace`` on load.)
-STORE_SCHEMA_VERSION = 3
+#: fields — older pickles would break ``dataclasses.replace`` on load.
+#: 4: the campaign config gained the ``load`` stage's population knobs and
+#: the ``rep_cells`` plan axis — old keys did not cover them.)
+STORE_SCHEMA_VERSION = 4
 
 #: Where ``cloudbench all --resume`` keeps its store when no --cache-dir is given.
 DEFAULT_CACHE_DIR = ".cloudbench-cache"
@@ -80,7 +82,14 @@ _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
 #: cache-collision between campaigns that differ only in the new field.
 CONFIG_KEY_FIELDS = (
     "idle_duration",
+    "load_arrival",
+    "load_edge_concurrency",
+    "load_link_capacity_bps",
+    "load_populations",
+    "load_transfer_bytes",
+    "load_window",
     "planetlab_count",
+    "rep_cells",
     "repetitions",
     "resolver_count",
     "scenario",

@@ -29,6 +29,7 @@ document, byte for byte.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -53,7 +54,8 @@ __all__ = [
 #: multi-seed campaign).  The single-seed document keeps its own version
 #: (:data:`repro.core.campaign.RESULTS_DOC_VERSION`) and its exact bytes: a
 #: one-seed sweep serializes as the legacy document.
-SWEEP_DOC_VERSION = 2
+#: (3: aggregate rows gained the ``ci95`` half-width column.)
+SWEEP_DOC_VERSION = 3
 
 
 def _is_numeric(value: object) -> bool:
@@ -115,6 +117,10 @@ def _reduce_rows(
                         "metric": column,
                         "mean": _round(aggregate.mean),
                         "std": _round(aggregate.std),
+                        # Normal-approximation 95% confidence half-width of
+                        # the mean; with few seeds it is a rough guide, and
+                        # it tightens as --seeds/--rep-cells add samples.
+                        "ci95": _round(1.96 * aggregate.std / math.sqrt(aggregate.count)),
                         "median": _round(aggregate.median),
                         "q1": _round(aggregate.q1),
                         "q3": _round(aggregate.q3),

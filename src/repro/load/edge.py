@@ -1,0 +1,83 @@
+"""Service-edge admission control: a concurrency limit with a FIFO queue.
+
+A storage service's ingress does not accept unbounded concurrent
+transfers; beyond some concurrency it queues (or a front-end load
+balancer does it for the clients).  :class:`ServiceEdge` models that as
+the classic M/G/k admission discipline: at most ``concurrency`` sessions
+in service, everyone else waiting first-in-first-out.  Queue *wait* — the
+gap between arrival and admission — is one of the tail metrics the load
+stage reports, because under saturation it dominates completion time.
+
+The edge is deliberately dumb: no timeouts, no drops, no priorities.
+Sessions are identified by opaque integer ids; the engine owns all
+timing.  Determinism needs nothing beyond FIFO order, which ``deque``
+gives us for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+__all__ = ["ServiceEdge"]
+
+
+class ServiceEdge:
+    """Bounded-concurrency admission with FIFO queueing.
+
+    Tracks the number of sessions in service, the waiting queue, and the
+    peaks of both — ``peak_active`` / ``peak_queue`` feed the saturation
+    metrics in :mod:`repro.load.metrics`.
+    """
+
+    __slots__ = ("concurrency", "in_service", "peak_active", "peak_queue", "_queue")
+
+    def __init__(self, concurrency: int) -> None:
+        if concurrency <= 0:
+            raise ValueError("edge concurrency must be positive")
+        self.concurrency = concurrency
+        self.in_service = 0
+        self.peak_active = 0
+        self.peak_queue = 0
+        self._queue: Deque[int] = deque()
+
+    @property
+    def queued(self) -> int:
+        """Sessions currently waiting for admission."""
+        return len(self._queue)
+
+    def has_capacity(self) -> bool:
+        """True when a new arrival can be admitted without queueing."""
+        return self.in_service < self.concurrency and not self._queue
+
+    def offer(self, session_id: int) -> bool:
+        """Present an arriving session; admit it or queue it FIFO.
+
+        Returns True when the session went straight into service.
+        """
+        if self.in_service < self.concurrency and not self._queue:
+            self._admit()
+            return True
+        self._queue.append(session_id)
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
+        return False
+
+    def release(self) -> Optional[int]:
+        """Complete one in-service session; admit the head of the queue.
+
+        Returns the admitted session's id, or None when nobody waited.
+        """
+        if self.in_service <= 0:
+            raise RuntimeError("release with no session in service")
+        self.in_service -= 1
+        if self._queue:
+            session_id = self._queue.popleft()
+            self._admit()
+            return session_id
+        return None
+
+    def _admit(self) -> None:
+        self.in_service += 1
+        if self.in_service > self.peak_active:
+            self.peak_active = self.in_service

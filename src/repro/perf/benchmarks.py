@@ -219,6 +219,49 @@ def _noop() -> None:
     return None
 
 
+def bench_load(sessions: int, repeats: int) -> BenchmarkResult:
+    """Sessions/second through the open-population fluid engine.
+
+    A deliberately *saturated* cell (offered load well above the shared
+    link) so the benchmark exercises the engine's expensive regime —
+    queue churn at the edge plus completion/arrival boundary hopping —
+    rather than the trivial uncontended path.
+    """
+    from repro.load import AccessLane, LoadParameters, simulate_population
+    from repro.randomness import make_rng
+
+    params = LoadParameters(
+        population=sessions,
+        window_s=20.0,
+        edge_concurrency=64,
+        link_capacity_bps=mbps(400.0),
+        transfer_bytes=100_000,
+    )
+    lane = AccessLane(cap_bps=mbps(10.0), rtt=0.030, server_processing=0.015)
+
+    def make_workload():
+        def workload() -> None:
+            simulate_population(params, lane, make_rng(DEFAULT_SEED, "bench", "load"))
+
+        return workload
+
+    measured = measure_rate(make_workload, sessions, repeats)
+    return BenchmarkResult(
+        name="load_sessions_per_s",
+        unit="sessions/s",
+        higher_is_better=True,
+        params={
+            "sessions": sessions,
+            "window_s": 20.0,
+            "edge_concurrency": 64,
+            "link_capacity_mbps": 400,
+            "transfer_bytes": 100_000,
+        },
+        value=round(measured.best, 3),
+        samples=tuple(round(sample, 3) for sample in measured.samples),
+    )
+
+
 def bench_campaign(
     *,
     services: Sequence[str],
@@ -309,6 +352,7 @@ def run_benchmarks(
         bench_trace_queries(50_000, 50, repeats),
         bench_transfers(2_000, repeats),
         bench_events(100_000, repeats),
+        bench_load(20_000, repeats),
     ]
     if quick:
         # Two services and one repetition: the macro path end to end in a

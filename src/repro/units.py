@@ -153,6 +153,100 @@ def parse_size(value) -> int:
     return size
 
 
+#: One ``--populations`` item: an integer with an optional k/M suffix.
+_POPULATION = re.compile(r"^(\d+)\s*([km]?)$")
+
+_POPULATION_MULTIPLIER = {"": 1, "k": 1000, "m": 1_000_000}
+
+#: The accepted ``--populations`` grammar, quoted by every parse error.
+POPULATIONS_GRAMMAR = (
+    "comma-separated session counts with optional k/M suffixes, e.g. '1k', "
+    "'1k,10k,100k' or '500,1M' (duplicates are dropped and the list is sorted ascending)"
+)
+
+
+def parse_population(value) -> int:
+    """Parse one population size like ``"10k"`` or ``"1M"`` into sessions.
+
+    Plain integers pass through; ``k``/``M`` suffixes are decimal
+    multiples (case-insensitive).  Raises
+    :class:`~repro.errors.ConfigurationError` (quoting the grammar) on
+    anything else.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"invalid population {value!r}; accepted: {POPULATIONS_GRAMMAR}")
+    if isinstance(value, int):
+        population = value
+    else:
+        match = _POPULATION.match(str(value).strip().lower())
+        if match is None:
+            raise ConfigurationError(f"invalid population {value!r}; accepted: {POPULATIONS_GRAMMAR}")
+        population = int(match.group(1)) * _POPULATION_MULTIPLIER[match.group(2)]
+    if population <= 0:
+        raise ConfigurationError(f"population must be positive, got {value!r}")
+    return population
+
+
+def parse_populations(text: str) -> List[int]:
+    """Parse a ``--populations`` list like ``"1k,10k,100k"``.
+
+    Returns the sizes sorted ascending with duplicates removed — the
+    normal form the load-stage unit planner uses, so population units
+    always plan (and report) in numeric order, never lexical.
+    """
+    items = [item.strip() for item in text.split(",")]
+    if not any(items):
+        raise ConfigurationError(f"--populations selects no size; accepted: {POPULATIONS_GRAMMAR}")
+    sizes: dict = {}  # insertion-ordered set: dedupe while accumulating
+    for item in items:
+        if not item:
+            raise ConfigurationError(
+                f"empty item in population spec {text!r}; accepted: {POPULATIONS_GRAMMAR}"
+            )
+        sizes[parse_population(item)] = None
+    return sorted(sizes)
+
+
+def format_population(population: int) -> str:
+    """Canonical unit label for a population size: ``1k``, ``10k``, ``1M``.
+
+    Exact decimal multiples collapse to the suffix form; anything else
+    prints as a plain integer.  ``parse_population(format_population(n))
+    == n`` for every positive ``n``.
+    """
+    if population >= 1_000_000 and population % 1_000_000 == 0:
+        return f"{population // 1_000_000}M"
+    if population >= 1000 and population % 1000 == 0:
+        return f"{population // 1000}k"
+    return str(population)
+
+
+#: A unit label that should order numerically: a population label like
+#: ``10k``/``1M`` or any label with a numeric ``#rN`` repetition suffix.
+_UNIT_NUMERIC = re.compile(r"^(\d+)([kM]?)$")
+
+
+def unit_sort_key(unit: str):
+    """Sort key for campaign unit labels within one (stage, service).
+
+    Population units compare by their numeric value (``1k < 10k < 100k <
+    1M`` — lexical order would interleave them), per-repetition units
+    (``upload#r0 < upload#r2 < upload#r10``) by (base label, repetition
+    number), and everything else by plain text.  The key is a uniform
+    ``(text, number, repetition)`` tuple so mixed listings never compare
+    ``str`` against ``int``.
+    """
+    base, sep, suffix = unit.partition("#r")
+    repetition = int(suffix) if sep and suffix.isdigit() else -1
+    if not (sep and suffix.isdigit()):
+        base = unit
+    match = _UNIT_NUMERIC.match(base)
+    if match is not None:
+        value = int(match.group(1)) * _POPULATION_MULTIPLIER[match.group(2).lower() or ""]
+        return ("", value, repetition)
+    return (base, -1, repetition)
+
+
 def parse_duration(text: str) -> float:
     """Parse an age/duration spec like ``"12h"`` into seconds.
 

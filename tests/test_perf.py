@@ -55,6 +55,7 @@ class TestBenchmarkDocument:
             "trace_queries_per_s",
             "tcp_transfers_per_s",
             "event_queue_events_per_s",
+            "load_sessions_per_s",
         }
         for entry in metrics.values():
             assert set(entry) == {"unit", "higher_is_better", "params", "value", "samples", "repeats"}

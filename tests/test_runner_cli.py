@@ -356,7 +356,7 @@ class TestSweepCLI:
         assert "Cross-seed aggregates — performance (n=2)" in out
         assert "sweep wall-clock" in out
         payload = json.loads(json_path.read_text())
-        assert payload["schema"] == 2 and payload["seeds"] == [7, 9]
+        assert payload["schema"] == 3 and payload["seeds"] == [7, 9]
         assert len(payload["per_seed"]) == 2
 
     def test_all_single_seed_via_seeds_flag_matches_legacy_json(self, tmp_path):
@@ -400,4 +400,4 @@ class TestSweepCLI:
         performance_csv = tmp_path / "agg.performance.csv"
         assert (tmp_path / "agg.idle.csv").exists() and performance_csv.exists()
         header = performance_csv.read_text().splitlines()[0]
-        assert header == "service,unit,row,label,metric,mean,std,median,q1,q3,iqr,min,max,n"
+        assert header == "service,unit,row,label,metric,mean,std,ci95,median,q1,q3,iqr,min,max,n"
